@@ -1,0 +1,206 @@
+//! Band-pass-filter decoding baseline (§8's opening observation).
+//!
+//! "At first glance, it might seem that one can decode a transponder's signal
+//! by using a band-pass filter centered around the transponder's CFO peak.
+//! This solution however does not work because OOK has a relatively wide
+//! spectrum." This module implements exactly that strawman so benches can
+//! show it failing where coherent combining succeeds.
+
+use caraoke_dsp::{fft, ifft, Complex};
+use caraoke_phy::modulation::slice_bits;
+use caraoke_phy::protocol::TransponderPacket;
+use caraoke_phy::timing::RESPONSE_BITS;
+
+/// Attempts to decode the tag whose CFO is `target_cfo_hz` from a *single*
+/// collision by band-pass filtering `half_bandwidth_hz` around the CFO,
+/// shifting it to baseband and slicing bits.
+///
+/// Returns the decoded packet if (improbably) the CRC passes.
+pub fn bandpass_decode(
+    samples: &[Complex],
+    sample_rate: f64,
+    target_cfo_hz: f64,
+    half_bandwidth_hz: f64,
+    samples_per_chip: usize,
+) -> Option<TransponderPacket> {
+    let n = samples.len();
+    if n == 0 {
+        return None;
+    }
+    let spectrum = fft(samples);
+    let bin_res = sample_rate / n as f64;
+    let center = (target_cfo_hz / bin_res).round() as i64;
+    let half_bins = (half_bandwidth_hz / bin_res).round() as i64;
+    let mut filtered = vec![Complex::ZERO; n];
+    for (k, slot) in filtered.iter_mut().enumerate() {
+        // Distance in bins on the circular frequency axis.
+        let k_signed = k as i64;
+        let alt = k_signed - n as i64;
+        let dist = (k_signed - center).abs().min((alt - center).abs());
+        if dist <= half_bins {
+            *slot = spectrum[k];
+        }
+    }
+    let time = ifft(&filtered);
+    // Shift the filtered signal down to baseband (remove the CFO) before
+    // slicing.
+    let step = Complex::from_angle(-2.0 * std::f64::consts::PI * target_cfo_hz / sample_rate);
+    let mut rot = Complex::ONE;
+    let shifted: Vec<Complex> = time
+        .iter()
+        .map(|&s| {
+            let v = s * rot;
+            rot *= step;
+            v
+        })
+        .collect();
+    let bits = slice_bits(&shifted, samples_per_chip, RESPONSE_BITS);
+    TransponderPacket::from_bits(&bits)
+}
+
+/// Fraction of successful band-pass decodes over multiple independent
+/// collisions (each element of `collisions` is one antenna's samples).
+pub fn bandpass_success_rate(
+    collisions: &[Vec<Complex>],
+    sample_rate: f64,
+    target_cfo_hz: f64,
+    half_bandwidth_hz: f64,
+    samples_per_chip: usize,
+    expected_id: u64,
+) -> f64 {
+    if collisions.is_empty() {
+        return 0.0;
+    }
+    let ok = collisions
+        .iter()
+        .filter(|c| {
+            bandpass_decode(c, sample_rate, target_cfo_hz, half_bandwidth_hz, samples_per_chip)
+                .map(|p| p.id.0 == expected_id)
+                .unwrap_or(false)
+        })
+        .count();
+    ok as f64 / collisions.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caraoke_geom::Vec3;
+    use caraoke_phy::{
+        antenna::{AntennaArray, ArrayGeometry},
+        cfo::MIN_TAG_CARRIER_HZ,
+        channel::PropagationModel,
+        protocol::TransponderId,
+        synthesize_collision, SignalConfig, Transponder,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn array() -> AntennaArray {
+        AntennaArray::from_geometry(
+            Vec3::new(0.0, -4.0, 3.8),
+            Vec3::new(0.0, 1.0, 0.0),
+            ArrayGeometry::default_pair(),
+        )
+    }
+
+    fn make_tag(id: u64, bin: usize, pos: Vec3, cfg: &SignalConfig) -> Transponder {
+        Transponder::new(
+            TransponderPacket::from_id(TransponderId(id)),
+            MIN_TAG_CARRIER_HZ + bin as f64 * cfg.bin_resolution(),
+            pos,
+        )
+    }
+
+    #[test]
+    fn isolated_tag_with_wide_filter_can_decode() {
+        // With no colliders and a filter wide enough to pass the whole OOK
+        // spectrum, the "band-pass" approach reduces to plain demodulation
+        // and should work.
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = SignalConfig {
+            noise_std: 0.001,
+            ..Default::default()
+        };
+        let tag = make_tag(42, 300, Vec3::new(5.0, 1.0, 0.5), &cfg);
+        let sig = synthesize_collision(
+            std::slice::from_ref(&tag),
+            &array(),
+            &PropagationModel::line_of_sight(),
+            &cfg,
+            &mut rng,
+        );
+        let decoded = bandpass_decode(
+            sig.antenna(0),
+            cfg.sample_rate,
+            tag.cfo(),
+            1.9e6,
+            cfg.samples_per_chip(),
+        );
+        assert_eq!(decoded.map(|p| p.id.0), Some(42));
+    }
+
+    #[test]
+    fn narrow_filter_destroys_even_an_isolated_tag() {
+        // The OOK spectrum is wide: a filter that only keeps a few bins
+        // around the CFO cannot reconstruct the bits.
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = SignalConfig::default();
+        let tag = make_tag(7, 300, Vec3::new(5.0, 1.0, 0.5), &cfg);
+        let sig = synthesize_collision(
+            std::slice::from_ref(&tag),
+            &array(),
+            &PropagationModel::line_of_sight(),
+            &cfg,
+            &mut rng,
+        );
+        let decoded = bandpass_decode(
+            sig.antenna(0),
+            cfg.sample_rate,
+            tag.cfo(),
+            10e3,
+            cfg.samples_per_chip(),
+        );
+        assert!(decoded.is_none());
+    }
+
+    #[test]
+    fn collisions_defeat_the_bandpass_decoder() {
+        // With several colliders, any filter wide enough to pass the target's
+        // data also passes the others' data: the decode fails — the reason
+        // Caraoke needs coherent combining (§8).
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = SignalConfig::default();
+        let tags: Vec<Transponder> = (0..5)
+            .map(|i| make_tag(100 + i, 100 + 110 * i as usize, Vec3::new(4.0 + i as f64, 0.0, 0.5), &cfg))
+            .collect();
+        let collisions: Vec<Vec<caraoke_dsp::Complex>> = (0..10)
+            .map(|_| {
+                synthesize_collision(
+                    &tags,
+                    &array(),
+                    &PropagationModel::line_of_sight(),
+                    &cfg,
+                    &mut rng,
+                )
+                .antennas
+                .remove(0)
+            })
+            .collect();
+        let rate = bandpass_success_rate(
+            &collisions,
+            cfg.sample_rate,
+            tags[2].cfo(),
+            300e3,
+            cfg.samples_per_chip(),
+            102,
+        );
+        assert!(rate < 0.2, "band-pass decoding should essentially never work, got {rate}");
+    }
+
+    #[test]
+    fn empty_input_is_handled() {
+        assert!(bandpass_decode(&[], 4e6, 500e3, 1e5, 4).is_none());
+        assert_eq!(bandpass_success_rate(&[], 4e6, 500e3, 1e5, 4, 1), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Camera-based traffic counting baseline.
+//!
+//! Traffic cameras count vehicles from video. Their error depends strongly on
+//! conditions: a few percent in good daylight, and up to 26 % under poor
+//! illumination, wind-induced camera shake or occlusions (§4 and §12.1,
+//! citing the video-detection study [43]). The model draws a per-interval
+//! multiplicative counting error whose magnitude depends on the condition.
+
+use rand::Rng;
+
+/// Observation conditions for a traffic camera.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CameraCondition {
+    /// Good daylight, no wind: a few percent error.
+    GoodDaylight,
+    /// Strong wind shaking the camera pole.
+    Windy,
+    /// Dusk/dawn or poor illumination.
+    LowLight,
+    /// Heavy occlusion (trucks, dense queues).
+    Occluded,
+}
+
+impl CameraCondition {
+    /// Mean absolute relative counting error for this condition (from the
+    /// ranges reported in the paper's citations).
+    pub fn mean_relative_error(&self) -> f64 {
+        match self {
+            CameraCondition::GoodDaylight => 0.03,
+            CameraCondition::Windy => 0.12,
+            CameraCondition::LowLight => 0.18,
+            CameraCondition::Occluded => 0.26,
+        }
+    }
+}
+
+/// A camera-based vehicle counter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CameraCounter {
+    /// The condition the camera operates under.
+    pub condition: CameraCondition,
+    /// How often the lens is cleaned, in weeks. Dirty lenses (6-week to
+    /// 6-month cleaning intervals are reported) degrade accuracy further.
+    pub weeks_since_cleaning: f64,
+}
+
+impl CameraCounter {
+    /// A camera in the given condition with a freshly cleaned lens.
+    pub fn new(condition: CameraCondition) -> Self {
+        Self {
+            condition,
+            weeks_since_cleaning: 0.0,
+        }
+    }
+
+    /// Effective mean relative error including lens degradation (an extra
+    /// percentage point per month since cleaning, capped).
+    pub fn effective_error(&self) -> f64 {
+        let degradation = (self.weeks_since_cleaning / 4.0 * 0.01).min(0.10);
+        (self.condition.mean_relative_error() + degradation).min(0.5)
+    }
+
+    /// Produces a counting estimate for `true_count` vehicles: the true count
+    /// perturbed by a signed relative error drawn around the effective error
+    /// level (uniform in `[-2e, +2e]`, so the *mean absolute* error is `e`).
+    pub fn estimate<R: Rng + ?Sized>(&self, true_count: usize, rng: &mut R) -> usize {
+        use rand::RngExt;
+        let e = self.effective_error();
+        let rel: f64 = rng.random_range(-2.0 * e..=2.0 * e);
+        let est = (true_count as f64 * (1.0 + rel)).round();
+        est.max(0.0) as usize
+    }
+
+    /// Mean absolute relative error over `trials` Monte-Carlo estimates of a
+    /// fixed ground-truth count.
+    pub fn mean_absolute_error<R: Rng + ?Sized>(
+        &self,
+        true_count: usize,
+        trials: usize,
+        rng: &mut R,
+    ) -> f64 {
+        if true_count == 0 || trials == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for _ in 0..trials {
+            let est = self.estimate(true_count, rng);
+            total += (est as f64 - true_count as f64).abs() / true_count as f64;
+        }
+        total / trials as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn error_ordering_matches_conditions() {
+        assert!(
+            CameraCondition::GoodDaylight.mean_relative_error()
+                < CameraCondition::Windy.mean_relative_error()
+        );
+        assert!(
+            CameraCondition::Windy.mean_relative_error()
+                < CameraCondition::Occluded.mean_relative_error()
+        );
+    }
+
+    #[test]
+    fn occluded_camera_is_much_worse_than_caraoke() {
+        // Caraoke's counting error is ~2 % (§1); an occluded camera is ~26 %.
+        let mut rng = StdRng::seed_from_u64(1);
+        let cam = CameraCounter::new(CameraCondition::Occluded);
+        let err = cam.mean_absolute_error(100, 5000, &mut rng);
+        assert!(err > 0.15, "got {err}");
+    }
+
+    #[test]
+    fn good_daylight_error_is_a_few_percent() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cam = CameraCounter::new(CameraCondition::GoodDaylight);
+        let err = cam.mean_absolute_error(100, 5000, &mut rng);
+        assert!(err > 0.005 && err < 0.06, "got {err}");
+    }
+
+    #[test]
+    fn dirty_lens_degrades_accuracy() {
+        let clean = CameraCounter::new(CameraCondition::GoodDaylight);
+        let dirty = CameraCounter {
+            weeks_since_cleaning: 24.0,
+            ..clean
+        };
+        assert!(dirty.effective_error() > clean.effective_error());
+        assert!(dirty.effective_error() <= 0.5);
+    }
+
+    #[test]
+    fn estimate_never_goes_negative() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cam = CameraCounter::new(CameraCondition::Occluded);
+        for _ in 0..100 {
+            let _ = cam.estimate(1, &mut rng);
+        }
+        assert_eq!(cam.estimate(0, &mut rng), 0);
+    }
+}

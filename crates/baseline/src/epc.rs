@@ -1,0 +1,100 @@
+//! EPC Gen-2 slotted-ALOHA inventory baseline.
+//!
+//! Traditional EPC RFIDs (retail, access control) solve collisions with a
+//! MAC: the reader runs framed slotted ALOHA (the Q protocol) and reads one
+//! tag per successful slot. This module models the expected air time such a
+//! system needs to inventory `m` tags, for comparison against Caraoke's
+//! identification time (Fig. 16) — remembering that e-toll transponders do
+//! not actually support any of this (§2, footnote 5).
+
+/// Parameters of a Gen-2 style inventory round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gen2Params {
+    /// Duration of a slot in which a tag replies and is read, seconds.
+    pub successful_slot_s: f64,
+    /// Duration of an empty slot, seconds.
+    pub empty_slot_s: f64,
+    /// Duration of a collided slot, seconds.
+    pub collision_slot_s: f64,
+    /// Frame-size efficiency: slots issued per tag when the frame size tracks
+    /// the tag population (the classic optimum is ~e ≈ 2.72 slots per tag
+    /// overall, of which 1/e are successes).
+    pub slots_per_tag: f64,
+}
+
+impl Default for Gen2Params {
+    fn default() -> Self {
+        Self {
+            // Typical FM0/Miller timings at 160 kbps-ish link rates.
+            successful_slot_s: 2.5e-3,
+            empty_slot_s: 0.3e-3,
+            collision_slot_s: 1.2e-3,
+            slots_per_tag: std::f64::consts::E,
+        }
+    }
+}
+
+/// Expected total number of slots needed to inventory `m` tags.
+pub fn expected_inventory_slots(m: usize, params: &Gen2Params) -> f64 {
+    m as f64 * params.slots_per_tag
+}
+
+/// Expected air time (seconds) to inventory `m` tags: each tag needs one
+/// successful slot; the remaining slots split between empty and collided
+/// (roughly 1/e successful, 1/e empty... using the standard slotted-ALOHA
+/// slot-type proportions at the optimal operating point).
+pub fn inventory_time_s(m: usize, params: &Gen2Params) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    let total_slots = expected_inventory_slots(m, params);
+    let successful = m as f64;
+    // At the optimal frame size, the fractions of successful, empty and
+    // collided slots are ~0.368, ~0.368 and ~0.264.
+    let empty = total_slots * 0.368;
+    let collided = (total_slots - successful - empty).max(0.0);
+    successful * params.successful_slot_s
+        + empty * params.empty_slot_s
+        + collided * params.collision_slot_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_scale_linearly_with_tags() {
+        let p = Gen2Params::default();
+        assert!((expected_inventory_slots(10, &p) - 27.18).abs() < 0.1);
+        assert_eq!(expected_inventory_slots(0, &p), 0.0);
+    }
+
+    #[test]
+    fn inventory_time_is_milliseconds_per_tag() {
+        let p = Gen2Params::default();
+        let t10 = inventory_time_s(10, &p);
+        assert!(t10 > 0.02 && t10 < 0.1, "got {t10}");
+        assert_eq!(inventory_time_s(0, &p), 0.0);
+    }
+
+    #[test]
+    fn time_is_monotone_in_tag_count() {
+        let p = Gen2Params::default();
+        let mut prev = 0.0;
+        for m in 1..20 {
+            let t = inventory_time_s(m, &p);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn caraoke_scale_comparison_is_sane() {
+        // Caraoke decodes 10 colliding tags in ~50 ms (Fig. 16); a Gen-2
+        // inventory of 10 tags is of the same order of magnitude — the point
+        // is not that Caraoke is faster, but that it needs no tag-side MAC.
+        let p = Gen2Params::default();
+        let t = inventory_time_s(10, &p);
+        assert!(t < 0.2);
+    }
+}

@@ -1,0 +1,34 @@
+//! # caraoke-baseline
+//!
+//! The alternatives the Caraoke paper compares against (or positions itself
+//! relative to), implemented so the benchmark harness can report "who wins":
+//!
+//! * [`camera`] — video-based traffic counting, whose error ranges from a few
+//!   percent to 26 % depending on illumination, wind and occlusions (§4,
+//!   §12.1, citing Medina et al.).
+//! * [`radar`] — police traffic radar, which measures speed well but cannot
+//!   tell *which* car the speed belongs to; 10–30 % of radar-based tickets
+//!   are estimated to be erroneous (§4).
+//! * [`naive_count`] — counting FFT peaks without the time-shift
+//!   multi-occupancy test (the strawman analysed by Eq. 7).
+//! * [`bandpass`] — trying to decode one tag out of a collision with a
+//!   band-pass filter around its CFO, which fails because OOK data occupies a
+//!   wide band (§8's opening observation).
+//! * [`epc`] — an EPC Gen-2 style slotted-ALOHA inventory, what a
+//!   MAC-capable RFID system would need in air time to read the same tags
+//!   (§2, footnote 5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandpass;
+pub mod camera;
+pub mod epc;
+pub mod naive_count;
+pub mod radar;
+
+pub use bandpass::bandpass_decode;
+pub use camera::{CameraCondition, CameraCounter};
+pub use epc::{expected_inventory_slots, inventory_time_s, Gen2Params};
+pub use naive_count::naive_counting_accuracy;
+pub use radar::{RadarDeployment, TicketOutcome};

@@ -1,0 +1,19 @@
+//! Criterion bench for the §5 probability analysis (Eq. 7 / Eq. 9 /
+//! Monte-Carlo with empirical CFOs).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("counting_probability_table", |b| {
+        b.iter(|| std::hint::black_box(caraoke_bench::counting_probability_table(20_000, 2)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

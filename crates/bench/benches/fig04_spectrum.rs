@@ -1,0 +1,19 @@
+//! Criterion bench for Fig. 4: analysing a five-transponder collision
+//! spectrum (FFT + peak detection).
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig04_collision_spectrum", |b| {
+        b.iter(|| std::hint::black_box(caraoke_bench::fig04_spectrum(1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench for Fig. 11: counting-accuracy Monte-Carlo sweep.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig11_counting_mc_1000_trials", |b| {
+        b.iter(|| std::hint::black_box(caraoke_bench::fig11_counting(1000, 4)))
+    });
+    c.bench_function("fig11_counting_signal_level", |b| {
+        b.iter(|| std::hint::black_box(caraoke_bench::fig11_signal_level(2, 5)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

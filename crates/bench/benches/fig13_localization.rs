@@ -1,0 +1,18 @@
+//! Criterion bench for Fig. 13: parking localization sweep.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig13_parking_localization", |b| {
+        b.iter(|| std::hint::black_box(caraoke_bench::fig13_localization(1, 7)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for Fig. 14: synthetic-aperture multipath profiling.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig14_multipath_profile_10_runs", |b| {
+        b.iter(|| std::hint::black_box(caraoke_bench::fig14_multipath(10, 8)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for Fig. 15: two-pole speed estimation.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig15_speed_single_pass", |b| {
+        b.iter(|| std::hint::black_box(caraoke_bench::fig15_speed(1, 9)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for Fig. 16: collision decoding time.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig16_decode_5_colliders", |b| {
+        b.iter(|| std::hint::black_box(caraoke_bench::fig16_decoding(1, 10, &[5])))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for the §9 multi-reader MAC simulation.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("mac_csma_vs_none", |b| {
+        b.iter(|| std::hint::black_box(caraoke_bench::table_mac(11)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for §10: sparse FFT versus dense FFT on a k-sparse
+//! collision window (the computation the paper moves to an sFFT to save
+//! reader power).
+use caraoke_dsp::{fft, Complex, SparseFft};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn tone_mix(n: usize, k: usize) -> Vec<Complex> {
+    let mut sig = vec![Complex::ZERO; n];
+    for t in 0..k {
+        let bin = 37 + t * (n / 2 / k.max(1));
+        for (i, s) in sig.iter_mut().enumerate() {
+            let ang = 2.0 * std::f64::consts::PI * (bin * i) as f64 / n as f64;
+            *s += Complex::from_angle(ang);
+        }
+    }
+    sig
+}
+
+fn bench(c: &mut Criterion) {
+    let n = 2048;
+    let mut group = c.benchmark_group("sfft_vs_fft");
+    for &k in &[1usize, 4, 8] {
+        let sig = tone_mix(n, k);
+        group.bench_with_input(BenchmarkId::new("dense_fft", k), &sig, |b, s| {
+            b.iter(|| std::hint::black_box(fft(s)))
+        });
+        let engine = SparseFft::with_defaults();
+        group.bench_with_input(BenchmarkId::new("sparse_fft", k), &sig, |b, s| {
+            b.iter(|| std::hint::black_box(engine.analyze(s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench for the §12.5 power/endurance model.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table_power_budget_and_endurance", |b| {
+        b.iter(|| std::hint::black_box(caraoke_bench::table_power()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    targets = bench
+}
+criterion_main!(benches);

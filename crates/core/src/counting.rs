@@ -1,0 +1,356 @@
+//! Counting transponders despite collisions (§5).
+//!
+//! The estimator counts the spikes in the collision spectrum; a spike whose
+//! bin passes the time-shift multi-occupancy test is counted as **two**
+//! transponders. The count is therefore wrong only when three or more tags
+//! share a bin, which is rare even for dozens of tags (Eq. 9). This module
+//! also provides the analytic probability formulas of §5 and a Monte-Carlo
+//! estimate of the counting accuracy under any CFO model.
+
+use crate::config::ReaderConfig;
+use crate::error::CaraokeError;
+use crate::spectrum::analyze_collision;
+use caraoke_phy::{CfoModel, CollisionSignal};
+use rand::Rng;
+
+/// Result of the counting estimator for one collision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountEstimate {
+    /// The estimated number of transponders in range.
+    pub count: usize,
+    /// Number of detected spectral peaks.
+    pub peaks: usize,
+    /// Number of peaks flagged as holding two or more transponders.
+    pub multi_occupied_peaks: usize,
+}
+
+/// Counts the transponders responding in `signal` (§5): one per detected
+/// spike, two for spikes flagged by the time-shift test.
+pub fn count_transponders(
+    signal: &CollisionSignal,
+    config: &ReaderConfig,
+) -> Result<CountEstimate, CaraokeError> {
+    let spectrum = analyze_collision(signal, config)?;
+    Ok(count_from_spectrum(&spectrum))
+}
+
+/// Counting rule applied to an already-analysed spectrum.
+pub fn count_from_spectrum(spectrum: &crate::spectrum::CollisionSpectrum) -> CountEstimate {
+    let peaks = spectrum.peaks.len();
+    let multi = spectrum.peaks.iter().filter(|p| p.multi_occupied).count();
+    CountEstimate {
+        count: peaks + multi,
+        peaks,
+        multi_occupied_peaks: multi,
+    }
+}
+
+/// Analytic probability formulas of §5.
+pub mod probability {
+    /// Probability that a *naive* peak-counting estimator (one tag per
+    /// occupied bin) misses no transponder: all `m` tags fall into distinct
+    /// bins out of `n_bins` (Eq. 7):
+    /// `P = n·(n−1)·…·(n−m+1) / n^m`.
+    pub fn naive_no_miss(n_bins: usize, m: usize) -> f64 {
+        if m > n_bins {
+            return 0.0;
+        }
+        let n = n_bins as f64;
+        let mut log_p = 0.0;
+        for i in 0..m {
+            log_p += ((n - i as f64) / n).ln();
+        }
+        log_p.exp()
+    }
+
+    /// Lower bound on the probability that the Caraoke estimator (which
+    /// counts doubly-occupied bins as two) misses no transponder: no bin
+    /// holds three or more tags (Eq. 9):
+    /// `P ≥ 1 − C(m,3)/n²`.
+    pub fn caraoke_no_miss_lower_bound(n_bins: usize, m: usize) -> f64 {
+        if m < 3 {
+            return 1.0;
+        }
+        let n = n_bins as f64;
+        let c3 = (m as f64) * (m as f64 - 1.0) * (m as f64 - 2.0) / 6.0;
+        (1.0 - c3 / (n * n)).max(0.0)
+    }
+
+    /// Exact probability that no bin holds three or more tags, assuming
+    /// uniform independent bins, computed by Monte-Carlo with the given
+    /// number of trials. (The union bound of Eq. 9 is tight for the paper's
+    /// parameters; this function lets tests confirm that.)
+    pub fn exact_no_triple_monte_carlo<R: rand::Rng + ?Sized>(
+        n_bins: usize,
+        m: usize,
+        trials: usize,
+        rng: &mut R,
+    ) -> f64 {
+        use rand::RngExt;
+        let mut ok = 0usize;
+        let mut occupancy = vec![0u32; n_bins];
+        for _ in 0..trials {
+            occupancy.iter_mut().for_each(|o| *o = 0);
+            let mut triple = false;
+            for _ in 0..m {
+                let b = rng.random_range(0..n_bins);
+                occupancy[b] += 1;
+                if occupancy[b] >= 3 {
+                    triple = true;
+                }
+            }
+            if !triple {
+                ok += 1;
+            }
+        }
+        ok as f64 / trials as f64
+    }
+}
+
+/// Monte-Carlo estimate of the probability that the Caraoke counting rule
+/// (min(occupancy, 2) per bin) returns the exact tag count, for `m` tags whose
+/// CFOs are drawn from `cfo_model` and quantised to `n_bins` FFT bins of width
+/// `bin_resolution` Hz.
+///
+/// This is the "bin-level" abstraction of the estimator used for the §5
+/// analysis and the empirical-CFO validation; the full signal-level estimator
+/// is exercised by [`count_transponders`].
+pub fn counting_accuracy_monte_carlo<R: Rng + ?Sized>(
+    m: usize,
+    cfo_model: CfoModel,
+    bin_resolution: f64,
+    n_bins: usize,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    let mut correct = 0usize;
+    let mut occupancy = vec![0u32; n_bins + 1];
+    for _ in 0..trials {
+        occupancy.iter_mut().for_each(|o| *o = 0);
+        for _ in 0..m {
+            let cfo = cfo_model.sample_cfo(rng);
+            let bin = ((cfo / bin_resolution).round() as usize).min(n_bins);
+            occupancy[bin] += 1;
+        }
+        let estimate: usize = occupancy.iter().map(|&o| (o.min(2)) as usize).sum();
+        if estimate == m {
+            correct += 1;
+        }
+    }
+    correct as f64 / trials as f64
+}
+
+/// Average relative counting accuracy (in %) over Monte-Carlo trials, defined
+/// as `100·(1 − |estimate − m| / m)` averaged over trials — the metric plotted
+/// in Fig. 11.
+pub fn counting_accuracy_percent<R: Rng + ?Sized>(
+    m: usize,
+    cfo_model: CfoModel,
+    bin_resolution: f64,
+    n_bins: usize,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    let mut acc = 0.0;
+    let mut occupancy = vec![0u32; n_bins + 1];
+    for _ in 0..trials {
+        occupancy.iter_mut().for_each(|o| *o = 0);
+        for _ in 0..m {
+            let cfo = cfo_model.sample_cfo(rng);
+            let bin = ((cfo / bin_resolution).round() as usize).min(n_bins);
+            occupancy[bin] += 1;
+        }
+        let estimate: usize = occupancy.iter().map(|&o| (o.min(2)) as usize).sum();
+        let err = (estimate as f64 - m as f64).abs() / m as f64;
+        acc += 100.0 * (1.0 - err);
+    }
+    acc / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caraoke_geom::Vec3;
+    use caraoke_phy::{
+        antenna::{AntennaArray, ArrayGeometry},
+        cfo::MIN_TAG_CARRIER_HZ,
+        channel::PropagationModel,
+        protocol::{TransponderId, TransponderPacket},
+        synthesize_collision, Transponder,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const N_BINS: usize = 615;
+
+    #[test]
+    fn naive_probability_matches_paper_numbers() {
+        // §5: 98 %, 93 % and 73 % for m = 5, 10, 20.
+        assert!((probability::naive_no_miss(N_BINS, 5) - 0.98).abs() < 0.01);
+        assert!((probability::naive_no_miss(N_BINS, 10) - 0.93).abs() < 0.01);
+        assert!((probability::naive_no_miss(N_BINS, 20) - 0.73).abs() < 0.015);
+    }
+
+    #[test]
+    fn caraoke_bound_matches_paper_numbers() {
+        // §5: at least 99.9 %, 99.9 % and 99.7 % for m = 5, 10, 20.
+        assert!(probability::caraoke_no_miss_lower_bound(N_BINS, 5) > 0.999);
+        assert!(probability::caraoke_no_miss_lower_bound(N_BINS, 10) > 0.999);
+        assert!(probability::caraoke_no_miss_lower_bound(N_BINS, 20) > 0.996);
+        assert_eq!(probability::caraoke_no_miss_lower_bound(N_BINS, 2), 1.0);
+    }
+
+    #[test]
+    fn caraoke_bound_is_tight_against_monte_carlo() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for &m in &[5usize, 10, 20] {
+            let exact = probability::exact_no_triple_monte_carlo(N_BINS, m, 20_000, &mut rng);
+            let bound = probability::caraoke_no_miss_lower_bound(N_BINS, m);
+            assert!(exact >= bound - 0.01, "m={m}: exact {exact} < bound {bound}");
+            assert!(exact - bound < 0.01, "m={m}: bound too loose");
+        }
+    }
+
+    #[test]
+    fn naive_probability_degrades_with_more_tags() {
+        let p5 = probability::naive_no_miss(N_BINS, 5);
+        let p20 = probability::naive_no_miss(N_BINS, 20);
+        let p50 = probability::naive_no_miss(N_BINS, 50);
+        assert!(p5 > p20 && p20 > p50);
+        assert_eq!(probability::naive_no_miss(10, 11), 0.0);
+    }
+
+    #[test]
+    fn empirical_cfo_accuracy_close_to_paper() {
+        // §5: with empirical CFOs the probability of not missing any
+        // transponder is ~99.9 %, 99.5 % and 95.3 % for m = 5, 10, 20. The
+        // empirical distribution concentrates CFOs and therefore does worse
+        // than uniform. Our Gaussian stand-in for the (unpublished) measured
+        // distribution is smoother than the real one, so it lands between the
+        // paper's uniform and empirical numbers — the ordering is what must
+        // hold.
+        let mut rng = StdRng::seed_from_u64(22);
+        let bin = 1953.125;
+        let p5 = counting_accuracy_monte_carlo(5, CfoModel::Empirical, bin, N_BINS, 20_000, &mut rng);
+        let p10 =
+            counting_accuracy_monte_carlo(10, CfoModel::Empirical, bin, N_BINS, 20_000, &mut rng);
+        let p20 =
+            counting_accuracy_monte_carlo(20, CfoModel::Empirical, bin, N_BINS, 20_000, &mut rng);
+        assert!(p5 > 0.99, "p5 = {p5}");
+        assert!(p10 > 0.985, "p10 = {p10}");
+        assert!(p20 > 0.93, "p20 = {p20}");
+        assert!(p5 >= p20, "accuracy must not improve with more tags");
+        // Uniform does at least as well as empirical (spread is wider).
+        let u20 =
+            counting_accuracy_monte_carlo(20, CfoModel::Uniform, bin, N_BINS, 20_000, &mut rng);
+        assert!(u20 >= p20 - 0.005);
+    }
+
+    #[test]
+    fn accuracy_percent_is_high_for_moderate_counts() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let bin = 1953.125;
+        let acc10 =
+            counting_accuracy_percent(10, CfoModel::Empirical, bin, N_BINS, 5_000, &mut rng);
+        let acc40 =
+            counting_accuracy_percent(40, CfoModel::Empirical, bin, N_BINS, 5_000, &mut rng);
+        assert!(acc10 > 99.5, "acc10 = {acc10}");
+        assert!(acc40 > 97.0, "acc40 = {acc40}");
+        assert!(acc10 >= acc40);
+    }
+
+    fn array() -> AntennaArray {
+        AntennaArray::from_geometry(
+            Vec3::new(0.0, -4.0, 3.8),
+            Vec3::new(0.0, 1.0, 0.0),
+            ArrayGeometry::default_pair(),
+        )
+    }
+
+    #[test]
+    fn signal_level_count_matches_ground_truth_for_separated_tags() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let rcfg = ReaderConfig::default();
+        let scfg = rcfg.signal;
+        for &m in &[1usize, 3, 5, 8] {
+            // Spread CFOs far apart so every tag sits in its own bin.
+            let tags: Vec<Transponder> = (0..m)
+                .map(|i| {
+                    let bin = 40 + i * (500 / m.max(1));
+                    Transponder::new(
+                        TransponderPacket::from_id(TransponderId(i as u64)),
+                        MIN_TAG_CARRIER_HZ + bin as f64 * scfg.bin_resolution(),
+                        Vec3::new(4.0 + i as f64 * 1.5, (i % 3) as f64 - 1.0, 0.5),
+                    )
+                })
+                .collect();
+            let sig = synthesize_collision(
+                &tags,
+                &array(),
+                &PropagationModel::line_of_sight(),
+                &scfg,
+                &mut rng,
+            );
+            let est = count_transponders(&sig, &rcfg).unwrap();
+            assert_eq!(est.count, m, "m = {m}");
+            assert_eq!(est.multi_occupied_peaks, 0);
+        }
+    }
+
+    #[test]
+    fn signal_level_count_handles_shared_bin() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let rcfg = ReaderConfig::default();
+        let scfg = rcfg.signal;
+        // Two tags ~1 kHz apart (same bin) plus two isolated tags = 4 total,
+        // but only 3 visible peaks.
+        let tags = vec![
+            Transponder::new(
+                TransponderPacket::from_id(TransponderId(1)),
+                MIN_TAG_CARRIER_HZ + 200.0 * scfg.bin_resolution(),
+                Vec3::new(5.0, 1.0, 0.5),
+            ),
+            Transponder::new(
+                TransponderPacket::from_id(TransponderId(2)),
+                MIN_TAG_CARRIER_HZ + 200.0 * scfg.bin_resolution() + 850.0,
+                Vec3::new(7.0, -1.0, 0.5),
+            ),
+            Transponder::new(
+                TransponderPacket::from_id(TransponderId(3)),
+                MIN_TAG_CARRIER_HZ + 420.0 * scfg.bin_resolution(),
+                Vec3::new(9.0, 2.0, 0.5),
+            ),
+            Transponder::new(
+                TransponderPacket::from_id(TransponderId(4)),
+                MIN_TAG_CARRIER_HZ + 520.0 * scfg.bin_resolution(),
+                Vec3::new(11.0, 0.0, 0.5),
+            ),
+        ];
+        let sig = synthesize_collision(
+            &tags,
+            &array(),
+            &PropagationModel::line_of_sight(),
+            &scfg,
+            &mut rng,
+        );
+        let est = count_transponders(&sig, &rcfg).unwrap();
+        assert_eq!(est.peaks, 3);
+        assert_eq!(est.multi_occupied_peaks, 1);
+        assert_eq!(est.count, 4);
+    }
+
+    #[test]
+    fn empty_collision_counts_zero() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let rcfg = ReaderConfig::default();
+        let sig = synthesize_collision(
+            &[],
+            &array(),
+            &PropagationModel::line_of_sight(),
+            &rcfg.signal,
+            &mut rng,
+        );
+        let est = count_transponders(&sig, &rcfg).unwrap();
+        assert_eq!(est.count, 0);
+    }
+}

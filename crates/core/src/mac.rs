@@ -1,0 +1,290 @@
+//! The multi-reader MAC protocol (§9).
+//!
+//! Transponders need no MAC — Caraoke embraces their collisions — but the
+//! *readers* do: a reader's query colliding with another reader's query is
+//! harmless (two sinewaves are still a valid trigger), whereas a query
+//! colliding with a transponder *response* being received by another reader
+//! destroys that response. Caraoke therefore uses carrier sense: a reader
+//! listens for 120 µs (query duration + turnaround) and transmits only if the
+//! medium stayed idle; no contention window is needed because query–query
+//! collisions are acceptable.
+
+use caraoke_phy::timing::{
+    CARRIER_SENSE_S, QUERY_DURATION_S, RESPONSE_DURATION_S, TURNAROUND_S,
+};
+
+/// Kind of an on-air transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransmissionKind {
+    /// A reader query (20 µs sinewave).
+    Query,
+    /// A transponder response (512 µs OOK burst).
+    Response,
+}
+
+/// One transmission on the shared medium.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transmission {
+    /// Identifier of the reader that caused this transmission (the querying
+    /// reader for queries; the reader being answered for responses).
+    pub reader_id: usize,
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds.
+    pub end: f64,
+    /// What is being transmitted.
+    pub kind: TransmissionKind,
+}
+
+impl Transmission {
+    /// Returns `true` if two transmissions overlap in time.
+    pub fn overlaps(&self, other: &Transmission) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// The CSMA policy of a Caraoke reader.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsmaMac {
+    /// How long the medium must be observed idle before transmitting.
+    pub carrier_sense_duration: f64,
+    /// Whether carrier sensing is enabled at all (disabled = the strawman the
+    /// protocol is compared against).
+    pub enabled: bool,
+}
+
+impl Default for CsmaMac {
+    fn default() -> Self {
+        Self {
+            carrier_sense_duration: CARRIER_SENSE_S,
+            enabled: true,
+        }
+    }
+}
+
+impl CsmaMac {
+    /// A MAC with carrier sensing disabled (readers transmit whenever they
+    /// want). Used as the baseline in the MAC evaluation.
+    pub fn disabled() -> Self {
+        Self {
+            carrier_sense_duration: 0.0,
+            enabled: false,
+        }
+    }
+
+    /// Returns the earliest time `t ≥ desired_time` at which a reader that
+    /// wants to transmit a query may do so, given the transmissions already
+    /// scheduled on the medium (queries and responses of *other* readers).
+    ///
+    /// With carrier sense enabled, the medium must have been idle for
+    /// [`Self::carrier_sense_duration`] before `t`. Because the longest thing
+    /// that can follow silence is a response that starts `TURNAROUND_S` after
+    /// a query ends, observing 120 µs of silence guarantees that no response
+    /// is pending (§9).
+    pub fn next_transmit_time(&self, desired_time: f64, medium: &[Transmission]) -> f64 {
+        if !self.enabled {
+            return desired_time;
+        }
+        let mut t = desired_time;
+        // Iterate until the sensing window [t - window, t] is clear of any
+        // transmission from other readers.
+        loop {
+            let window_start = t - self.carrier_sense_duration;
+            let blocking = medium
+                .iter()
+                .filter(|tx| tx.end > window_start && tx.start < t)
+                .map(|tx| tx.end)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if blocking == f64::NEG_INFINITY {
+                return t;
+            }
+            // Wait until the blocking transmission ends plus a full sensing
+            // window of silence.
+            t = blocking + self.carrier_sense_duration;
+        }
+    }
+
+    /// Schedules a query at (or after) `desired_time`, returning the query
+    /// transmission and the transponder response it elicits.
+    pub fn schedule_query(
+        &self,
+        reader_id: usize,
+        desired_time: f64,
+        medium: &[Transmission],
+    ) -> (Transmission, Transmission) {
+        let start = self.next_transmit_time(desired_time, medium);
+        let query = Transmission {
+            reader_id,
+            start,
+            end: start + QUERY_DURATION_S,
+            kind: TransmissionKind::Query,
+        };
+        let response_start = query.end + TURNAROUND_S;
+        let response = Transmission {
+            reader_id,
+            start: response_start,
+            end: response_start + RESPONSE_DURATION_S,
+            kind: TransmissionKind::Response,
+        };
+        (query, response)
+    }
+}
+
+/// Counts the harmful collisions in a transmission schedule: a query of one
+/// reader overlapping a *response* destined to another reader (§9 case 2).
+/// Query–query overlaps are not counted because they are harmless (case 1).
+pub fn harmful_collisions(medium: &[Transmission]) -> usize {
+    let mut count = 0;
+    for (i, a) in medium.iter().enumerate() {
+        if a.kind != TransmissionKind::Query {
+            continue;
+        }
+        for b in medium.iter().skip(i + 1).chain(medium.iter().take(i)) {
+            if b.kind == TransmissionKind::Response
+                && b.reader_id != a.reader_id
+                && a.overlaps(b)
+            {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Counts query–query overlaps (harmless, but interesting to report).
+pub fn query_query_overlaps(medium: &[Transmission]) -> usize {
+    let queries: Vec<&Transmission> = medium
+        .iter()
+        .filter(|t| t.kind == TransmissionKind::Query)
+        .collect();
+    let mut count = 0;
+    for i in 0..queries.len() {
+        for j in (i + 1)..queries.len() {
+            if queries[i].reader_id != queries[j].reader_id && queries[i].overlaps(queries[j]) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_medium_transmits_immediately() {
+        let mac = CsmaMac::default();
+        assert_eq!(mac.next_transmit_time(1.0, &[]), 1.0);
+    }
+
+    #[test]
+    fn sensing_window_defers_past_ongoing_response() {
+        let mac = CsmaMac::default();
+        let medium = vec![Transmission {
+            reader_id: 0,
+            start: 0.0,
+            end: 0.000512,
+            kind: TransmissionKind::Response,
+        }];
+        // Wanting to transmit in the middle of the response defers until the
+        // response ends plus a sensing window.
+        let t = mac.next_transmit_time(0.0003, &medium);
+        assert!((t - (0.000512 + CARRIER_SENSE_S)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sensing_window_covers_the_turnaround_gap() {
+        // A query just ended; its response starts 100 us later. A second
+        // reader sensing during the silent gap must still defer, because the
+        // 120 us window reaches back to the query.
+        let mac = CsmaMac::default();
+        let q_end = 20e-6;
+        let medium = vec![Transmission {
+            reader_id: 0,
+            start: 0.0,
+            end: q_end,
+            kind: TransmissionKind::Query,
+        }];
+        let t = mac.next_transmit_time(60e-6, &medium);
+        assert!(t >= q_end + CARRIER_SENSE_S - 1e-12);
+    }
+
+    #[test]
+    fn disabled_mac_never_defers() {
+        let mac = CsmaMac::disabled();
+        let medium = vec![Transmission {
+            reader_id: 0,
+            start: 0.0,
+            end: 1.0,
+            kind: TransmissionKind::Response,
+        }];
+        assert_eq!(mac.next_transmit_time(0.5, &medium), 0.5);
+    }
+
+    #[test]
+    fn csma_avoids_query_response_collisions() {
+        // Two readers trying to query almost simultaneously: with CSMA the
+        // second defers until the first exchange completes.
+        let mac = CsmaMac::default();
+        let mut medium: Vec<Transmission> = Vec::new();
+        let (q1, r1) = mac.schedule_query(0, 0.0, &medium);
+        medium.push(q1);
+        medium.push(r1);
+        let (q2, r2) = mac.schedule_query(1, 50e-6, &medium);
+        medium.push(q2);
+        medium.push(r2);
+        assert_eq!(harmful_collisions(&medium), 0);
+        assert!(q2.start >= r1.end, "second query must wait out the response");
+    }
+
+    #[test]
+    fn no_csma_causes_harmful_collisions() {
+        let mac = CsmaMac::disabled();
+        let mut medium: Vec<Transmission> = Vec::new();
+        let (q1, r1) = mac.schedule_query(0, 0.0, &medium);
+        medium.push(q1);
+        medium.push(r1);
+        // Second reader transmits right in the middle of reader 0's response.
+        let (q2, r2) = mac.schedule_query(1, 200e-6, &medium);
+        medium.push(q2);
+        medium.push(r2);
+        assert!(harmful_collisions(&medium) >= 1);
+    }
+
+    #[test]
+    fn simultaneous_queries_are_not_harmful() {
+        // Two queries at exactly the same time: allowed, and their responses
+        // overlap each other (which is the normal collision Caraoke decodes).
+        let mac = CsmaMac::default();
+        let (q1, r1) = mac.schedule_query(0, 0.0, &[]);
+        let (q2, r2) = mac.schedule_query(1, 0.0, &[]);
+        let medium = vec![q1, r1, q2, r2];
+        assert_eq!(harmful_collisions(&medium), 0);
+        assert_eq!(query_query_overlaps(&medium), 1);
+    }
+
+    #[test]
+    fn overlap_predicate_is_correct() {
+        let a = Transmission {
+            reader_id: 0,
+            start: 0.0,
+            end: 1.0,
+            kind: TransmissionKind::Query,
+        };
+        let b = Transmission {
+            reader_id: 1,
+            start: 1.0,
+            end: 2.0,
+            kind: TransmissionKind::Query,
+        };
+        assert!(!a.overlaps(&b), "touching intervals do not overlap");
+        let c = Transmission {
+            reader_id: 1,
+            start: 0.99,
+            end: 2.0,
+            kind: TransmissionKind::Query,
+        };
+        assert!(a.overlaps(&c));
+    }
+}

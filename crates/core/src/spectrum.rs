@@ -1,0 +1,276 @@
+//! Collision spectrum analysis.
+//!
+//! The first step of every Caraoke function is the same (§3, §5): take the
+//! FFT of the 512 µs collision window at each antenna, find the spikes inside
+//! the 1.2 MHz CFO band, and read off each spike's complex value per antenna
+//! (the channel estimates `h/2`). This module packages that step.
+
+use crate::config::ReaderConfig;
+use crate::error::CaraokeError;
+use caraoke_dsp::{detect_peaks, fft, magnitude_spectrum, Complex};
+use caraoke_phy::CollisionSignal;
+
+/// One detected transponder spike.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagPeak {
+    /// FFT bin of the spike.
+    pub bin: usize,
+    /// CFO corresponding to that bin, Hz.
+    pub cfo_hz: f64,
+    /// Complex spectrum value at the spike for each antenna (≈ `h_a·N/2`,
+    /// rotated by the tag's initial phase).
+    pub values: Vec<Complex>,
+    /// Magnitude of the spike at the first antenna (used for ordering).
+    pub magnitude: f64,
+    /// `true` if the time-shift test of §5 concluded that two or more
+    /// transponders share this bin.
+    pub multi_occupied: bool,
+}
+
+/// The spectral analysis of one collision at one reader.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollisionSpectrum {
+    /// Full complex spectrum per antenna.
+    pub spectra: Vec<Vec<Complex>>,
+    /// Detected transponder spikes, ordered by bin.
+    pub peaks: Vec<TagPeak>,
+    /// FFT bin resolution, Hz.
+    pub bin_resolution: f64,
+}
+
+impl CollisionSpectrum {
+    /// Number of antennas analysed.
+    pub fn num_antennas(&self) -> usize {
+        self.spectra.len()
+    }
+
+    /// Looks up the detected peak nearest to a given CFO, within
+    /// `tolerance_bins` bins. Useful for tracking a known tag across queries.
+    pub fn peak_near_cfo(&self, cfo_hz: f64, tolerance_bins: usize) -> Option<&TagPeak> {
+        let target_bin = (cfo_hz / self.bin_resolution).round() as i64;
+        self.peaks
+            .iter()
+            .filter(|p| (p.bin as i64 - target_bin).unsigned_abs() as usize <= tolerance_bins)
+            .min_by_key(|p| (p.bin as i64 - target_bin).unsigned_abs())
+    }
+}
+
+/// Analyses a collision: FFT per antenna, peak detection in the CFO band and
+/// the multi-occupancy test (§5) per peak.
+///
+/// The multi-occupancy test evaluates each peak's frequency over two
+/// time-shifted sub-windows of the response (the first and the last
+/// `occupancy_shift_samples` samples). A bin holding a single transponder
+/// only rotates in phase between the two windows, so its magnitude stays put;
+/// two transponders sharing the bin rotate by *different* amounts (their CFOs
+/// differ, if by less than a bin), so the composite magnitude changes. A
+/// relative magnitude change above `occupancy_rel_threshold` flags the bin as
+/// holding two or more tags.
+pub fn analyze_collision(
+    signal: &CollisionSignal,
+    config: &ReaderConfig,
+) -> Result<CollisionSpectrum, CaraokeError> {
+    if signal.num_antennas() == 0 {
+        return Err(CaraokeError::NotEnoughAntennas {
+            required: 1,
+            available: 0,
+        });
+    }
+    let n = signal.num_samples();
+    let bin_resolution = signal.sample_rate / n as f64;
+
+    let spectra: Vec<Vec<Complex>> = signal
+        .antennas
+        .iter()
+        .map(|samples| fft(samples))
+        .collect();
+
+    // Peak detection on the first antenna's magnitude spectrum.
+    let mags = magnitude_spectrum(&spectra[0]);
+    let raw_peaks = detect_peaks(&mags, &config.peak_config());
+
+    // Two sub-windows of equal length for the occupancy test: the first
+    // `w` samples and the last `w` samples of the response.
+    let w = config.occupancy_shift_samples.min(n).max(1);
+    let samples = signal.antenna(0);
+    let early = &samples[..w];
+    let late = &samples[n - w..];
+
+    let peaks = raw_peaks
+        .into_iter()
+        .map(|p| {
+            // Evaluate the exact peak frequency over each sub-window.
+            let k = p.bin as f64 * w as f64 / n as f64;
+            let mag_early = caraoke_dsp::goertzel_bin(early, k).abs();
+            let mag_late = caraoke_dsp::goertzel_bin(late, k).abs();
+            let rel_change =
+                (mag_early - mag_late).abs() / mag_early.max(mag_late).max(1e-300);
+            // The sub-window magnitudes of a *single* tag still fluctuate
+            // because the other tags' OOK sidebands differ between windows.
+            // Scale the decision threshold with the local interference floor
+            // so weak peaks in dense collisions are not falsely split.
+            let window = config.peak_local_window.max(8);
+            let a = p.bin.saturating_sub(window);
+            let b = (p.bin + window + 1).min(mags.len());
+            let local_floor = caraoke_dsp::stats::median(&mags[a..b]);
+            let adaptive = (6.0 * local_floor / p.magnitude.max(1e-300))
+                .max(config.occupancy_rel_threshold);
+            TagPeak {
+                bin: p.bin,
+                cfo_hz: p.bin as f64 * bin_resolution,
+                values: spectra.iter().map(|s| s[p.bin]).collect(),
+                magnitude: p.magnitude,
+                multi_occupied: rel_change > adaptive,
+            }
+        })
+        .collect();
+
+    Ok(CollisionSpectrum {
+        spectra,
+        peaks,
+        bin_resolution,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caraoke_geom::Vec3;
+    use caraoke_phy::{
+        antenna::{AntennaArray, ArrayGeometry},
+        cfo::MIN_TAG_CARRIER_HZ,
+        channel::PropagationModel,
+        protocol::{TransponderId, TransponderPacket},
+        synthesize_collision, SignalConfig, Transponder,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn array() -> AntennaArray {
+        AntennaArray::from_geometry(
+            Vec3::new(0.0, -4.0, 3.8),
+            Vec3::new(0.0, 1.0, 0.0),
+            ArrayGeometry::default_pair(),
+        )
+    }
+
+    fn tag_at_bin(id: u64, bin: usize, pos: Vec3, cfg: &SignalConfig) -> Transponder {
+        Transponder::new(
+            TransponderPacket::from_id(TransponderId(id)),
+            MIN_TAG_CARRIER_HZ + bin as f64 * cfg.bin_resolution(),
+            pos,
+        )
+    }
+
+    #[test]
+    fn detects_each_tag_as_a_separate_peak() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let rcfg = ReaderConfig::default();
+        let scfg = rcfg.signal;
+        let tags: Vec<Transponder> = [100usize, 250, 400, 550]
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| tag_at_bin(i as u64, b, Vec3::new(5.0 + i as f64, 1.0, 0.5), &scfg))
+            .collect();
+        let sig = synthesize_collision(
+            &tags,
+            &array(),
+            &PropagationModel::line_of_sight(),
+            &scfg,
+            &mut rng,
+        );
+        let spec = analyze_collision(&sig, &rcfg).unwrap();
+        assert_eq!(spec.peaks.len(), 4);
+        assert_eq!(spec.num_antennas(), 2);
+        for (tag, peak) in tags.iter().zip(spec.peaks.iter()) {
+            assert!(peak.bin.abs_diff((tag.cfo() / scfg.bin_resolution()).round() as usize) <= 1);
+            assert!(!peak.multi_occupied, "isolated tags must not look multi-occupied");
+            assert_eq!(peak.values.len(), 2);
+        }
+    }
+
+    #[test]
+    fn two_tags_in_same_bin_are_flagged_multi_occupied() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let rcfg = ReaderConfig::default();
+        let scfg = rcfg.signal;
+        // Two tags whose CFOs differ by ~1 kHz (less than one 1.95 kHz bin)
+        // and a third isolated tag.
+        let mut tags = vec![
+            tag_at_bin(1, 300, Vec3::new(5.0, 1.0, 0.5), &scfg),
+            tag_at_bin(3, 520, Vec3::new(9.0, -1.0, 0.5), &scfg),
+        ];
+        tags.push(Transponder::new(
+            TransponderPacket::from_id(TransponderId(2)),
+            MIN_TAG_CARRIER_HZ + 300.0 * scfg.bin_resolution() + 900.0,
+            Vec3::new(6.5, 2.0, 0.5),
+        ));
+        let sig = synthesize_collision(
+            &tags,
+            &array(),
+            &PropagationModel::line_of_sight(),
+            &scfg,
+            &mut rng,
+        );
+        let spec = analyze_collision(&sig, &rcfg).unwrap();
+        let shared = spec
+            .peaks
+            .iter()
+            .find(|p| p.bin.abs_diff(300) <= 1)
+            .expect("shared bin peak");
+        assert!(shared.multi_occupied, "shared bin must be flagged");
+        let isolated = spec
+            .peaks
+            .iter()
+            .find(|p| p.bin.abs_diff(520) <= 1)
+            .expect("isolated peak");
+        assert!(!isolated.multi_occupied);
+    }
+
+    #[test]
+    fn peak_near_cfo_finds_the_right_peak() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let rcfg = ReaderConfig::default();
+        let scfg = rcfg.signal;
+        let tags = vec![
+            tag_at_bin(1, 150, Vec3::new(5.0, 1.0, 0.5), &scfg),
+            tag_at_bin(2, 450, Vec3::new(8.0, -2.0, 0.5), &scfg),
+        ];
+        let sig = synthesize_collision(
+            &tags,
+            &array(),
+            &PropagationModel::line_of_sight(),
+            &scfg,
+            &mut rng,
+        );
+        let spec = analyze_collision(&sig, &rcfg).unwrap();
+        let p = spec.peak_near_cfo(tags[1].cfo(), 2).expect("peak");
+        assert!(p.bin.abs_diff(450) <= 1);
+        assert!(spec.peak_near_cfo(1.0e6, 2).is_none());
+    }
+
+    #[test]
+    fn empty_signal_is_an_error() {
+        let sig = CollisionSignal {
+            antennas: vec![],
+            sample_rate: 4.0e6,
+        };
+        let err = analyze_collision(&sig, &ReaderConfig::default()).unwrap_err();
+        assert!(matches!(err, CaraokeError::NotEnoughAntennas { .. }));
+    }
+
+    #[test]
+    fn noise_only_signal_has_no_peaks() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let rcfg = ReaderConfig::default();
+        let sig = synthesize_collision(
+            &[],
+            &array(),
+            &PropagationModel::line_of_sight(),
+            &rcfg.signal,
+            &mut rng,
+        );
+        let spec = analyze_collision(&sig, &rcfg).unwrap();
+        assert!(spec.peaks.is_empty());
+    }
+}

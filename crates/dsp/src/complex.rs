@@ -1,0 +1,309 @@
+//! Minimal complex-number type used throughout the workspace.
+//!
+//! The workspace deliberately avoids an external `num-complex` dependency; the
+//! receiver pipeline only needs a small, predictable set of operations on
+//! `f64`-valued complex samples.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates the unit phasor `e^{jθ}`.
+    #[inline]
+    pub fn from_angle(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{jθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Magnitude (absolute value).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude, avoiding the square root.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Phase angle in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse. Returns a non-finite value for zero input.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Self {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// Returns `true` if both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.norm_sqr();
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn addition_and_subtraction_are_componentwise() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        let s = a + b;
+        assert!(close(s.re, -2.0) && close(s.im, 2.5));
+        let d = a - b;
+        assert!(close(d.re, 4.0) && close(d.im, 1.5));
+    }
+
+    #[test]
+    fn multiplication_matches_expansion() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -4.0);
+        let p = a * b;
+        // (1+2i)(3-4i) = 3 - 4i + 6i + 8 = 11 + 2i
+        assert!(close(p.re, 11.0) && close(p.im, 2.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(0.7, -1.3);
+        let b = Complex::new(2.5, 0.4);
+        let q = (a * b) / b;
+        assert!(close(q.re, a.re) && close(q.im, a.im));
+    }
+
+    #[test]
+    fn conjugate_negates_imaginary_part() {
+        let a = Complex::new(1.5, -2.5);
+        let c = a.conj();
+        assert!(close(c.re, 1.5) && close(c.im, 2.5));
+    }
+
+    #[test]
+    fn abs_and_norm_sqr_agree() {
+        let a = Complex::new(3.0, 4.0);
+        assert!(close(a.abs(), 5.0));
+        assert!(close(a.norm_sqr(), 25.0));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let a = Complex::from_polar(2.0, 0.7);
+        assert!(close(a.abs(), 2.0));
+        assert!(close(a.arg(), 0.7));
+    }
+
+    #[test]
+    fn from_angle_is_unit_magnitude() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.39;
+            assert!((Complex::from_angle(theta).abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn recip_times_self_is_one() {
+        let a = Complex::new(-0.3, 0.9);
+        let p = a * a.recip();
+        assert!(close(p.re, 1.0) && close(p.im, 0.0));
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let v = vec![Complex::new(1.0, 1.0); 10];
+        let s: Complex = v.into_iter().sum();
+        assert!(close(s.re, 10.0) && close(s.im, 10.0));
+    }
+
+    #[test]
+    fn scalar_multiplication_commutes() {
+        let a = Complex::new(1.0, -2.0);
+        let left = 3.0 * a;
+        let right = a * 3.0;
+        assert_eq!(left, right);
+        assert!(close(left.re, 3.0) && close(left.im, -6.0));
+    }
+}

@@ -1,0 +1,338 @@
+//! Radix-2 fast Fourier transform and related helpers.
+//!
+//! The Caraoke reader takes the FFT of a 512 µs collision window (2048 complex
+//! samples at 4 MS/s), giving a bin resolution of 1/512 µs ≈ 1.95 kHz — the
+//! numbers quoted in §5 of the paper. This module implements an iterative
+//! radix-2 decimation-in-time transform (with arbitrary-size fallback via the
+//! direct DFT, used only in tests), the inverse transform, circular time
+//! shifts (used by the multi-occupancy bin test), and spectrum helpers.
+
+use crate::complex::Complex;
+
+/// Returns `true` if `n` is a power of two (and non-zero).
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && (n & (n - 1)) == 0
+}
+
+/// Computes the forward FFT of `input`, returning a new vector.
+///
+/// The input length must be a power of two; use [`dft`] for arbitrary sizes.
+///
+/// The transform follows the engineering convention
+/// `X[k] = Σ_n x[n]·e^{-j2πkn/N}` with no normalisation on the forward pass.
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn fft(input: &[Complex]) -> Vec<Complex> {
+    let mut data = input.to_vec();
+    fft_in_place(&mut data);
+    data
+}
+
+/// In-place forward FFT. See [`fft`].
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn fft_in_place(data: &mut [Complex]) {
+    transform(data, false);
+}
+
+/// Computes the inverse FFT, returning a new vector.
+///
+/// Normalised by `1/N` so that `ifft(fft(x)) == x`.
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn ifft(input: &[Complex]) -> Vec<Complex> {
+    let mut data = input.to_vec();
+    ifft_in_place(&mut data);
+    data
+}
+
+/// In-place inverse FFT. See [`ifft`].
+///
+/// # Panics
+/// Panics if the length is not a power of two.
+pub fn ifft_in_place(data: &mut [Complex]) {
+    transform(data, true);
+    let n = data.len() as f64;
+    for x in data.iter_mut() {
+        *x = *x / n;
+    }
+}
+
+/// Core iterative radix-2 decimation-in-time transform.
+fn transform(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(
+        is_power_of_two(n),
+        "FFT length must be a power of two, got {n}"
+    );
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterfly stages.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2usize;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_angle(ang);
+        let half = len / 2;
+        let mut start = 0;
+        while start < n {
+            let mut w = Complex::ONE;
+            for k in 0..half {
+                let u = data[start + k];
+                let v = data[start + k + half] * w;
+                data[start + k] = u + v;
+                data[start + k + half] = u - v;
+                w *= wlen;
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Direct O(N²) discrete Fourier transform for arbitrary lengths.
+///
+/// Used as a reference implementation in tests and for the odd-length
+/// sub-problems of the sparse FFT.
+pub fn dft(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    let mut out = vec![Complex::ZERO; n];
+    for (k, slot) in out.iter_mut().enumerate() {
+        let mut acc = Complex::ZERO;
+        for (idx, &x) in input.iter().enumerate() {
+            let ang = -2.0 * std::f64::consts::PI * (k * idx) as f64 / n as f64;
+            acc += x * Complex::from_angle(ang);
+        }
+        *slot = acc;
+    }
+    out
+}
+
+/// Returns the magnitude of each FFT bin.
+pub fn magnitude_spectrum(spectrum: &[Complex]) -> Vec<f64> {
+    spectrum.iter().map(|c| c.abs()).collect()
+}
+
+/// Returns the power (squared magnitude) of each FFT bin.
+pub fn power_spectrum(spectrum: &[Complex]) -> Vec<f64> {
+    spectrum.iter().map(|c| c.norm_sqr()).collect()
+}
+
+/// Circularly shifts a time-domain signal by `shift` samples (to the left for
+/// positive `shift`), i.e. `y[n] = x[(n + shift) mod N]`.
+///
+/// §5 of the paper uses the FFT of the *time-shifted* collision to decide
+/// whether an FFT bin contains one or several transponders: a single tone only
+/// rotates in phase under a time shift, whereas two tones in the same bin
+/// change magnitude.
+pub fn circular_shift(signal: &[Complex], shift: usize) -> Vec<Complex> {
+    let n = signal.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let s = shift % n;
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&signal[s..]);
+    out.extend_from_slice(&signal[..s]);
+    out
+}
+
+/// Converts an FFT bin index to a (possibly negative) frequency in Hz given
+/// the sample rate, mapping bins above `N/2` to negative frequencies.
+pub fn bin_to_frequency(bin: usize, fft_size: usize, sample_rate: f64) -> f64 {
+    let bin = bin % fft_size;
+    let half = fft_size / 2;
+    if bin <= half {
+        bin as f64 * sample_rate / fft_size as f64
+    } else {
+        (bin as f64 - fft_size as f64) * sample_rate / fft_size as f64
+    }
+}
+
+/// Converts a frequency in Hz to the nearest FFT bin index (wrapping negative
+/// frequencies into the upper half of the spectrum).
+pub fn frequency_to_bin(freq: f64, fft_size: usize, sample_rate: f64) -> usize {
+    let rel = freq / sample_rate * fft_size as f64;
+    let rounded = rel.round() as i64;
+    rounded.rem_euclid(fft_size as i64) as usize
+}
+
+/// Frequency resolution of an FFT window of `fft_size` samples at
+/// `sample_rate` Hz (the `δf = 1/T` of Eq. 6 in the paper).
+pub fn bin_resolution(fft_size: usize, sample_rate: f64) -> f64 {
+    sample_rate / fft_size as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    fn approx_c(a: Complex, b: Complex, tol: f64) -> bool {
+        approx(a.re, b.re, tol) && approx(a.im, b.im, tol)
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![Complex::ZERO; 16];
+        x[0] = Complex::ONE;
+        let spec = fft(&x);
+        for c in spec {
+            assert!(approx_c(c, Complex::ONE, 1e-12));
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_concentrates_in_dc() {
+        let x = vec![Complex::ONE; 32];
+        let spec = fft(&x);
+        assert!(approx(spec[0].re, 32.0, 1e-9));
+        for c in &spec[1..] {
+            assert!(c.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_of_complex_exponential_has_single_peak() {
+        let n = 256;
+        let k = 37;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_angle(2.0 * std::f64::consts::PI * (k * i) as f64 / n as f64))
+            .collect();
+        let spec = fft(&x);
+        for (bin, c) in spec.iter().enumerate() {
+            if bin == k {
+                assert!(approx(c.abs(), n as f64, 1e-6));
+            } else {
+                assert!(c.abs() < 1e-6, "unexpected energy in bin {bin}");
+            }
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let n = 128;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let y = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert!(approx_c(*a, *b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn fft_matches_direct_dft() {
+        let n = 64;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 2.0).cos() * 0.5))
+            .collect();
+        let a = fft(&x);
+        let b = dft(&x);
+        for (p, q) in a.iter().zip(b.iter()) {
+            assert!(approx_c(*p, *q, 1e-7));
+        }
+    }
+
+    #[test]
+    fn fft_is_linear() {
+        let n = 64;
+        let x: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let y: Vec<Complex> = (0..n).map(|i| Complex::new(0.0, (i * i % 7) as f64)).collect();
+        let sum: Vec<Complex> = x.iter().zip(y.iter()).map(|(a, b)| *a + *b).collect();
+        let fx = fft(&x);
+        let fy = fft(&y);
+        let fsum = fft(&sum);
+        for i in 0..n {
+            assert!(approx_c(fsum[i], fx[i] + fy[i], 1e-7));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 256;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+            .collect();
+        let time_energy: f64 = x.iter().map(|c| c.norm_sqr()).sum();
+        let spec = fft(&x);
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+        assert!(approx(time_energy, freq_energy, 1e-6));
+    }
+
+    #[test]
+    fn circular_shift_rotates_phase_of_pure_tone() {
+        // Time shift -> phase rotation (Eq. 8 of the paper); magnitude unchanged.
+        let n = 512;
+        let k = 45;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_angle(2.0 * std::f64::consts::PI * (k * i) as f64 / n as f64))
+            .collect();
+        let shifted = circular_shift(&x, 17);
+        let a = fft(&x);
+        let b = fft(&shifted);
+        assert!(approx(a[k].abs(), b[k].abs(), 1e-6));
+        let expected_rotation = 2.0 * std::f64::consts::PI * (k * 17) as f64 / n as f64;
+        let measured = (b[k] / a[k]).arg();
+        let diff = (measured - expected_rotation).rem_euclid(2.0 * std::f64::consts::PI);
+        assert!(diff < 1e-6 || (2.0 * std::f64::consts::PI - diff) < 1e-6);
+    }
+
+    #[test]
+    fn circular_shift_full_length_is_identity() {
+        let x: Vec<Complex> = (0..8).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        assert_eq!(circular_shift(&x, 8), x);
+        assert_eq!(circular_shift(&x, 0), x);
+    }
+
+    #[test]
+    fn bin_frequency_round_trip() {
+        let fs = 4.0e6;
+        let n = 2048;
+        for bin in [0usize, 1, 100, 614, 1023, 1024, 1500, 2047] {
+            let f = bin_to_frequency(bin, n, fs);
+            assert_eq!(frequency_to_bin(f, n, fs), bin);
+        }
+    }
+
+    #[test]
+    fn bin_resolution_matches_paper() {
+        // 512 us window at 4 MS/s -> 2048 samples -> 1.953 kHz bins (paper: 1.95 kHz).
+        let res = bin_resolution(2048, 4.0e6);
+        assert!(approx(res, 1953.125, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let x = vec![Complex::ZERO; 12];
+        fft(&x);
+    }
+
+    #[test]
+    fn negative_frequencies_map_to_upper_bins() {
+        let fs = 4.0e6;
+        let n = 2048;
+        let bin = frequency_to_bin(-1953.125, n, fs);
+        assert_eq!(bin, n - 1);
+        assert!(approx(bin_to_frequency(bin, n, fs), -1953.125, 1e-9));
+    }
+}

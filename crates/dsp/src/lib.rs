@@ -1,0 +1,41 @@
+//! # caraoke-dsp
+//!
+//! Signal-processing substrate for the Caraoke reproduction.
+//!
+//! The Caraoke reader (SIGCOMM 2015) operates on baseband collision signals in
+//! the frequency domain: it takes an FFT of the received collision, finds the
+//! spectral peaks created by each transponder's carrier-frequency offset (CFO),
+//! and uses the complex peak values as channel estimates. This crate provides
+//! everything that layer needs, implemented from scratch with no external DSP
+//! dependencies:
+//!
+//! * [`Complex`] — complex arithmetic on `f64`.
+//! * [`fft`] — iterative radix-2 decimation-in-time FFT / inverse FFT, plus
+//!   helpers for circular time shifts (used by the multi-occupancy bin test of
+//!   §5 of the paper).
+//! * [`goertzel`] — single-bin DFT evaluation, used by the sparse-FFT
+//!   estimation stage and by targeted channel probing.
+//! * [`sfft`] — a software sparse FFT (subsample/alias + voting + Goertzel
+//!   estimation) standing in for the sFFT hardware of §10.
+//! * [`window`] — window functions.
+//! * [`peaks`] — noise-threshold peak detection on magnitude spectra.
+//! * [`stats`] — summary statistics and percentiles used throughout the
+//!   evaluation harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod fft;
+pub mod goertzel;
+pub mod peaks;
+pub mod sfft;
+pub mod stats;
+pub mod window;
+
+pub use complex::Complex;
+pub use fft::{fft, fft_in_place, ifft, magnitude_spectrum, power_spectrum};
+pub use goertzel::goertzel_bin;
+pub use peaks::{detect_peaks, Peak, PeakConfig};
+pub use sfft::{SparseFft, SparseFftConfig, SparsePeak};
+pub use stats::{mean, percentile, std_dev, variance, Summary};

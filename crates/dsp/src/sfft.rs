@@ -1,0 +1,291 @@
+//! Sparse FFT for frequency-sparse collision signals.
+//!
+//! §10 of the Caraoke paper replaces the dense FFT with a sparse FFT [33, 11]
+//! because only a handful of transponders respond to a query, so the spectrum
+//! contains only a few strong spikes. This module implements a software
+//! sparse transform based on the classic aliasing/bucketization idea:
+//!
+//! 1. Subsample the time signal by a factor `d` (keeping every `d`-th sample).
+//!    Frequencies alias into `N/d` buckets: original bin `f` lands in bucket
+//!    `f mod N/d`.
+//! 2. Subsample again with a one-sample offset. For a bucket containing a
+//!    single spike, the phase difference between the two bucket values equals
+//!    `2πf/N`, which reveals the original bin `f`.
+//! 3. Repeat with a second, co-prime subsampling factor and keep only
+//!    frequencies whose Goertzel estimate over the full signal confirms a
+//!    strong spike (voting). This resolves bucket collisions.
+//!
+//! The result is a list of `(bin, complex value)` pairs rather than a full
+//! spectrum, computed in `O((N/d)·log(N/d) + k·N)` instead of `O(N·log N)`.
+
+use crate::complex::Complex;
+use crate::fft::fft;
+use crate::goertzel::goertzel_bin;
+
+/// A spectral spike recovered by the sparse FFT.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsePeak {
+    /// Original FFT bin index (0..fft_size).
+    pub bin: usize,
+    /// Complex DFT value at that bin (same scaling as a dense FFT).
+    pub value: Complex,
+}
+
+/// Configuration of the sparse FFT.
+#[derive(Debug, Clone, Copy)]
+pub struct SparseFftConfig {
+    /// Subsampling factor of the first pass (must divide the signal length).
+    pub subsample_a: usize,
+    /// Subsampling factor of the second pass (must divide the signal length,
+    /// ideally co-prime bucket counts with the first pass).
+    pub subsample_b: usize,
+    /// A recovered frequency is accepted only if its full-length Goertzel
+    /// magnitude exceeds `threshold_over_noise` times the bucket noise floor
+    /// (median bucket magnitude, rescaled).
+    pub threshold_over_noise: f64,
+    /// Maximum number of spikes to recover. 0 means unlimited.
+    pub max_peaks: usize,
+}
+
+impl Default for SparseFftConfig {
+    fn default() -> Self {
+        Self {
+            subsample_a: 8,
+            subsample_b: 4,
+            threshold_over_noise: 4.0,
+            max_peaks: 0,
+        }
+    }
+}
+
+/// Sparse FFT engine.
+#[derive(Debug, Clone)]
+pub struct SparseFft {
+    config: SparseFftConfig,
+}
+
+impl SparseFft {
+    /// Creates a sparse FFT engine with the given configuration.
+    pub fn new(config: SparseFftConfig) -> Self {
+        Self { config }
+    }
+
+    /// Creates an engine with default parameters (subsampling 8 and 4).
+    pub fn with_defaults() -> Self {
+        Self::new(SparseFftConfig::default())
+    }
+
+    /// Recovers the dominant spikes of the spectrum of `signal`.
+    ///
+    /// The returned peaks are sorted by bin index and carry the same complex
+    /// scaling a dense FFT would give, so downstream code (channel estimation,
+    /// AoA) can use them interchangeably.
+    ///
+    /// # Panics
+    /// Panics if either subsampling factor does not divide the signal length
+    /// or the resulting bucket count is not a power of two.
+    pub fn analyze(&self, signal: &[Complex]) -> Vec<SparsePeak> {
+        let n = signal.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut candidates =
+            self.candidates_for_subsampling(signal, self.config.subsample_a);
+        candidates.extend(self.candidates_for_subsampling(signal, self.config.subsample_b));
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        // Estimate the noise level from the dense spectrum of the *subsampled*
+        // signal: a bucket's median magnitude divided by the subsampling
+        // factor approximates the per-bin noise of the full spectrum.
+        let d = self.config.subsample_a;
+        let buckets = self.bucket_spectrum(signal, d, 0);
+        let mags: Vec<f64> = buckets.iter().map(|c| c.abs()).collect();
+        let noise = crate::stats::median(&mags).max(f64::MIN_POSITIVE);
+        let threshold = noise * self.config.threshold_over_noise;
+
+        // Verify each candidate against the full signal with Goertzel.
+        let evaluated: Vec<(usize, Complex)> = candidates
+            .into_iter()
+            .map(|bin| (bin, goertzel_bin(signal, bin as f64)))
+            .collect();
+        // Besides the noise-relative threshold, require candidates to be
+        // within 30 dB of the strongest one; this rejects the numerically
+        // tiny alias hypotheses generated for noise-free signals.
+        let strongest = evaluated
+            .iter()
+            .map(|(_, v)| v.abs())
+            .fold(0.0_f64, f64::max);
+        let floor = threshold.max(strongest * 1e-3);
+        let mut peaks: Vec<SparsePeak> = Vec::new();
+        for (bin, value) in evaluated {
+            if value.abs() >= floor {
+                peaks.push(SparsePeak { bin, value });
+            }
+        }
+        // Merge near-duplicates (adjacent bins from the two passes): keep the
+        // stronger of any two peaks within one bin of each other.
+        peaks.sort_by(|a, b| b.value.abs().partial_cmp(&a.value.abs()).unwrap());
+        let mut accepted: Vec<SparsePeak> = Vec::new();
+        for p in peaks {
+            if accepted.iter().all(|q| q.bin.abs_diff(p.bin) > 1) {
+                accepted.push(p);
+            }
+        }
+        if self.config.max_peaks > 0 && accepted.len() > self.config.max_peaks {
+            accepted.truncate(self.config.max_peaks);
+        }
+        accepted.sort_by_key(|p| p.bin);
+        accepted
+    }
+
+    /// Returns the aliased bucket spectrum of the signal subsampled by `d`
+    /// starting at `offset`.
+    fn bucket_spectrum(&self, signal: &[Complex], d: usize, offset: usize) -> Vec<Complex> {
+        let n = signal.len();
+        assert!(d > 0 && n % d == 0, "subsampling factor must divide length");
+        let m = n / d;
+        assert!(
+            crate::fft::is_power_of_two(m),
+            "bucket count must be a power of two (signal {n}, subsample {d})"
+        );
+        let sub: Vec<Complex> = (0..m).map(|i| signal[(i * d + offset) % n]).collect();
+        fft(&sub)
+    }
+
+    /// Finds candidate original bins via the two-offset phase trick for one
+    /// subsampling factor.
+    fn candidates_for_subsampling(&self, signal: &[Complex], d: usize) -> Vec<usize> {
+        let n = signal.len();
+        let m = n / d;
+        let spec0 = self.bucket_spectrum(signal, d, 0);
+        let spec1 = self.bucket_spectrum(signal, d, 1);
+
+        let mags: Vec<f64> = spec0.iter().map(|c| c.abs()).collect();
+        let noise = crate::stats::median(&mags).max(f64::MIN_POSITIVE);
+        let threshold = noise * self.config.threshold_over_noise;
+
+        let mut out = Vec::new();
+        for bucket in 0..m {
+            if spec0[bucket].abs() < threshold {
+                continue;
+            }
+            // Phase of spec1/spec0 equals 2π·f/N when the bucket holds a
+            // single spike at original bin f.
+            let ratio = spec1[bucket] / spec0[bucket];
+            let phase = ratio.arg().rem_euclid(2.0 * std::f64::consts::PI);
+            let f_est = phase / (2.0 * std::f64::consts::PI) * n as f64;
+            // The estimate must be congruent to `bucket` mod m; snap to the
+            // nearest admissible bin.
+            let alias = ((f_est - bucket as f64) / m as f64).round() as i64;
+            let bin = bucket as i64 + alias * m as i64;
+            let bin = bin.rem_euclid(n as i64) as usize;
+            out.push(bin);
+            // Also consider neighbouring alias hypotheses to tolerate phase
+            // noise near the decision boundary.
+            let alt = (bin + m) % n;
+            out.push(alt);
+            let alt2 = (bin + n - m) % n;
+            out.push(alt2);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::fft;
+
+    /// Builds a signal with pure complex tones at the given integer bins.
+    fn tones(n: usize, bins: &[(usize, f64)]) -> Vec<Complex> {
+        let mut sig = vec![Complex::ZERO; n];
+        for &(bin, amp) in bins {
+            for (i, s) in sig.iter_mut().enumerate() {
+                let ang = 2.0 * std::f64::consts::PI * (bin * i) as f64 / n as f64;
+                *s += Complex::from_polar(amp, ang);
+            }
+        }
+        sig
+    }
+
+    #[test]
+    fn recovers_single_tone() {
+        let n = 2048;
+        let sig = tones(n, &[(700, 1.0)]);
+        let peaks = SparseFft::with_defaults().analyze(&sig);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].bin, 700);
+        assert!((peaks[0].value.abs() - n as f64).abs() / (n as f64) < 1e-6);
+    }
+
+    #[test]
+    fn recovers_five_separated_tones() {
+        let n = 2048;
+        let bins = [(51usize, 1.0), (160, 0.8), (333, 1.2), (480, 0.9), (601, 1.1)];
+        let sig = tones(n, &bins);
+        let peaks = SparseFft::with_defaults().analyze(&sig);
+        let got: Vec<usize> = peaks.iter().map(|p| p.bin).collect();
+        for (b, _) in bins {
+            assert!(got.contains(&b), "missing bin {b}, got {got:?}");
+        }
+        assert_eq!(peaks.len(), 5);
+    }
+
+    #[test]
+    fn values_match_dense_fft() {
+        let n = 1024;
+        let sig = tones(n, &[(100, 1.0), (417, 0.5)]);
+        let dense = fft(&sig);
+        let peaks = SparseFft::with_defaults().analyze(&sig);
+        for p in peaks {
+            assert!((p.value - dense[p.bin]).abs() < 1e-6 * n as f64);
+        }
+    }
+
+    #[test]
+    fn tolerates_noise() {
+        let n = 2048;
+        let mut sig = tones(n, &[(300, 1.0), (900, 1.0)]);
+        // Deterministic pseudo-noise well below the tones.
+        for (i, s) in sig.iter_mut().enumerate() {
+            let a = ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
+            let b = ((i * 40503) % 1000) as f64 / 1000.0 - 0.5;
+            *s += Complex::new(a, b) * 0.05;
+        }
+        let peaks = SparseFft::with_defaults().analyze(&sig);
+        let got: Vec<usize> = peaks.iter().map(|p| p.bin).collect();
+        assert!(got.contains(&300));
+        assert!(got.contains(&900));
+    }
+
+    #[test]
+    fn empty_signal_yields_no_peaks() {
+        let peaks = SparseFft::with_defaults().analyze(&[]);
+        assert!(peaks.is_empty());
+    }
+
+    #[test]
+    fn max_peaks_limits_output() {
+        let n = 2048;
+        let sig = tones(n, &[(100, 1.0), (500, 1.0), (900, 1.0), (1300, 1.0)]);
+        let cfg = SparseFftConfig {
+            max_peaks: 2,
+            ..Default::default()
+        };
+        let peaks = SparseFft::new(cfg).analyze(&sig);
+        assert_eq!(peaks.len(), 2);
+    }
+
+    #[test]
+    fn resolves_bucket_collisions_via_second_pass() {
+        // Two tones that alias into the same bucket for subsample 8
+        // (n/8 = 256 buckets; bins 100 and 356 collide) but not for 4.
+        let n = 2048;
+        let sig = tones(n, &[(100, 1.0), (356, 1.0)]);
+        let peaks = SparseFft::with_defaults().analyze(&sig);
+        let got: Vec<usize> = peaks.iter().map(|p| p.bin).collect();
+        assert!(got.contains(&100), "got {got:?}");
+        assert!(got.contains(&356), "got {got:?}");
+    }
+}

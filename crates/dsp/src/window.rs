@@ -1,0 +1,136 @@
+//! Window functions.
+//!
+//! The Caraoke reader mostly uses a rectangular window (the whole 512 µs
+//! response), but windows are useful when analysing partial responses or when
+//! reducing spectral leakage from strong nearby transponders.
+
+/// Supported window shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowKind {
+    /// All-ones window (no shaping).
+    Rectangular,
+    /// Hann (raised-cosine) window.
+    Hann,
+    /// Hamming window.
+    Hamming,
+    /// Blackman window.
+    Blackman,
+}
+
+/// Generates the window coefficients of the requested kind and length.
+pub fn window(kind: WindowKind, len: usize) -> Vec<f64> {
+    if len == 0 {
+        return Vec::new();
+    }
+    if len == 1 {
+        return vec![1.0];
+    }
+    let n = (len - 1) as f64;
+    (0..len)
+        .map(|i| {
+            let x = i as f64 / n;
+            match kind {
+                WindowKind::Rectangular => 1.0,
+                WindowKind::Hann => 0.5 - 0.5 * (2.0 * std::f64::consts::PI * x).cos(),
+                WindowKind::Hamming => 0.54 - 0.46 * (2.0 * std::f64::consts::PI * x).cos(),
+                WindowKind::Blackman => {
+                    0.42 - 0.5 * (2.0 * std::f64::consts::PI * x).cos()
+                        + 0.08 * (4.0 * std::f64::consts::PI * x).cos()
+                }
+            }
+        })
+        .collect()
+}
+
+/// Applies a window to a complex signal in place.
+pub fn apply_window(signal: &mut [crate::Complex], coeffs: &[f64]) {
+    assert_eq!(
+        signal.len(),
+        coeffs.len(),
+        "window length must match signal length"
+    );
+    for (s, &w) in signal.iter_mut().zip(coeffs.iter()) {
+        *s = s.scale(w);
+    }
+}
+
+/// Coherent gain of a window (mean of its coefficients); used to renormalise
+/// peak amplitudes after windowing.
+pub fn coherent_gain(coeffs: &[f64]) -> f64 {
+    if coeffs.is_empty() {
+        return 0.0;
+    }
+    coeffs.iter().sum::<f64>() / coeffs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        let w = window(WindowKind::Rectangular, 16);
+        assert!(w.iter().all(|&x| (x - 1.0).abs() < 1e-15));
+    }
+
+    #[test]
+    fn hann_is_zero_at_edges_and_one_in_middle() {
+        let w = window(WindowKind::Hann, 65);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[64].abs() < 1e-12);
+        assert!((w[32] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_edges_are_nonzero() {
+        let w = window(WindowKind::Hamming, 33);
+        assert!((w[0] - 0.08).abs() < 1e-12);
+        assert!((w[32] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blackman_is_symmetric() {
+        let w = window(WindowKind::Blackman, 50);
+        for i in 0..25 {
+            assert!((w[i] - w[49 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn windows_are_bounded_by_one() {
+        for kind in [
+            WindowKind::Rectangular,
+            WindowKind::Hann,
+            WindowKind::Hamming,
+            WindowKind::Blackman,
+        ] {
+            for &x in &window(kind, 101) {
+                assert!(x <= 1.0 + 1e-12 && x >= -1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn coherent_gain_of_rectangular_is_one() {
+        let w = window(WindowKind::Rectangular, 64);
+        assert!((coherent_gain(&w) - 1.0).abs() < 1e-12);
+        let h = window(WindowKind::Hann, 1024);
+        assert!((coherent_gain(&h) - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn apply_window_scales_samples() {
+        use crate::Complex;
+        let mut sig = vec![Complex::new(2.0, -2.0); 4];
+        apply_window(&mut sig, &[0.0, 0.5, 1.0, 2.0]);
+        assert_eq!(sig[0], Complex::ZERO);
+        assert_eq!(sig[1], Complex::new(1.0, -1.0));
+        assert_eq!(sig[3], Complex::new(4.0, -4.0));
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(window(WindowKind::Hann, 0).is_empty());
+        assert_eq!(window(WindowKind::Hann, 1), vec![1.0]);
+    }
+}

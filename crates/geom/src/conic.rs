@@ -1,0 +1,270 @@
+//! The AoA cone and its intersection with the road plane (§6, Fig. 7).
+//!
+//! A single AoA measurement `α` constrains the transponder to the surface of
+//! a cone whose apex is the antenna-array centre and whose axis is the antenna
+//! baseline. Cars are on the road, so intersecting the cone with the road
+//! plane reduces the ambiguity to a curve: a **hyperbola** when the baseline
+//! is parallel to the road (Eq. 15: `(tan α·x)² − y² = b²`), and an
+//! **ellipse-like** curve when the baseline is tilted (the 60° antenna tilt
+//! of §12.2).
+
+use crate::vec3::Vec3;
+
+/// The cone of directions at spatial angle `alpha` around `axis`, apexed at
+/// `apex` (all in the global frame).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConeCurve {
+    /// Cone apex (the antenna-array centre), in metres.
+    pub apex: Vec3,
+    /// Cone axis (antenna baseline direction); need not be normalised.
+    pub axis: Vec3,
+    /// Half-angle of the cone (the AoA), radians in `[0, π]`.
+    pub alpha: f64,
+}
+
+impl ConeCurve {
+    /// Creates a cone from apex, axis and AoA.
+    pub fn new(apex: Vec3, axis: Vec3, alpha: f64) -> Self {
+        Self { apex, axis, alpha }
+    }
+
+    /// Signed residual of the cone constraint at point `p`:
+    /// `cos(angle(axis, p − apex)) − cos(alpha)`. Zero on the cone surface.
+    pub fn residual(&self, p: Vec3) -> f64 {
+        let v = p - self.apex;
+        let n = v.norm();
+        if n == 0.0 {
+            return -self.alpha.cos();
+        }
+        let cos_theta = self.axis.normalized().dot(v) / n;
+        cos_theta - self.alpha.cos()
+    }
+
+    /// Returns `true` if `p` lies on the cone within an angular tolerance
+    /// (radians).
+    pub fn contains(&self, p: Vec3, tol_rad: f64) -> bool {
+        let v = p - self.apex;
+        if v.norm() == 0.0 {
+            return false;
+        }
+        (self.axis.angle_to(v) - self.alpha).abs() <= tol_rad
+    }
+
+    /// Intersects the cone with the horizontal plane `z = plane_z` at a given
+    /// along-road coordinate `x` (global frame), returning the 0, 1 or 2
+    /// solutions for the across-road coordinate `y`.
+    ///
+    /// This works for arbitrary (including tilted) axes by solving the
+    /// quadratic `(u·v)² = cos²α·|v|²` in `y`, where `v = (x, y, plane_z) −
+    /// apex` and `u` is the unit axis.
+    pub fn y_solutions_at(&self, x: f64, plane_z: f64) -> Vec<f64> {
+        let u = self.axis.normalized();
+        let c2 = self.alpha.cos() * self.alpha.cos();
+        let dx = x - self.apex.x;
+        let dz = plane_z - self.apex.z;
+        // v = (dx, y - apex.y, dz); let w = y - apex.y.
+        // (u.x*dx + u.y*w + u.z*dz)^2 = c2 * (dx^2 + w^2 + dz^2)
+        let k = u.x * dx + u.z * dz;
+        // (k + u.y*w)^2 = c2*(dx^2 + dz^2 + w^2)
+        // (u.y^2 - c2) w^2 + 2 k u.y w + k^2 - c2 (dx^2+dz^2) = 0
+        let a = u.y * u.y - c2;
+        let b = 2.0 * k * u.y;
+        let c = k * k - c2 * (dx * dx + dz * dz);
+        let mut roots = solve_quadratic(a, b, c);
+        // The quadratic describes a double cone; keep only roots on the
+        // correct nappe (cos of the angle must have the same sign as cos α).
+        roots.retain(|&w| {
+            let v = Vec3::new(dx, w, dz);
+            let n = v.norm();
+            if n == 0.0 {
+                return false;
+            }
+            let cos_theta = u.dot(v) / n;
+            (cos_theta - self.alpha.cos()).abs() < 1e-6
+        });
+        roots.iter().map(|w| w + self.apex.y).collect()
+    }
+}
+
+/// Solves `a·x² + b·x + c = 0`, returning real roots (possibly one root when
+/// `a ≈ 0`).
+fn solve_quadratic(a: f64, b: f64, c: f64) -> Vec<f64> {
+    const EPS: f64 = 1e-12;
+    if a.abs() < EPS {
+        if b.abs() < EPS {
+            return Vec::new();
+        }
+        return vec![-c / b];
+    }
+    let disc = b * b - 4.0 * a * c;
+    if disc < 0.0 {
+        return Vec::new();
+    }
+    let sq = disc.sqrt();
+    // Numerically stable form.
+    let q = -0.5 * (b + b.signum() * sq);
+    let mut roots = vec![q / a];
+    if q.abs() > EPS {
+        roots.push(c / q);
+    } else {
+        roots.push(0.0);
+    }
+    roots.dedup_by(|x, y| (*x - *y).abs() < 1e-12);
+    roots
+}
+
+/// The curve obtained by cutting an AoA cone with the road plane, in the
+/// reader-local frame of the paper's Eq. 15: pole of height `b`, antenna
+/// baseline parallel to the road (`x` axis), road plane at `z = −b`.
+///
+/// The curve is the hyperbola `(tan α · x)² − y² = b²`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoadCurve {
+    /// AoA in radians.
+    pub alpha: f64,
+    /// Pole height in metres.
+    pub pole_height: f64,
+}
+
+impl RoadCurve {
+    /// Creates the road-plane hyperbola for a measured AoA and pole height.
+    pub fn new(alpha: f64, pole_height: f64) -> Self {
+        Self { alpha, pole_height }
+    }
+
+    /// Evaluates `y²` on the curve at along-road coordinate `x`; negative
+    /// values mean the curve does not reach that `x`.
+    pub fn y_squared_at(&self, x: f64) -> f64 {
+        let t = self.alpha.tan();
+        t * t * x * x - self.pole_height * self.pole_height
+    }
+
+    /// Returns the two symmetric `y` solutions at `x`, if the curve exists
+    /// there.
+    pub fn y_at(&self, x: f64) -> Option<(f64, f64)> {
+        let y2 = self.y_squared_at(x);
+        if y2 < 0.0 {
+            None
+        } else {
+            let y = y2.sqrt();
+            Some((y, -y))
+        }
+    }
+
+    /// Residual of the hyperbola equation at a point `(x, y)` on the road.
+    pub fn residual(&self, x: f64, y: f64) -> f64 {
+        let t = self.alpha.tan();
+        t * t * x * x - y * y - self.pole_height * self.pole_height
+    }
+
+    /// The smallest |x| reached by the curve (the vertex), `b / |tan α|`.
+    pub fn vertex_x(&self) -> f64 {
+        (self.pole_height / self.alpha.tan()).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_roots_of_known_polynomial() {
+        // x^2 - 5x + 6 = 0 -> 2, 3
+        let mut r = solve_quadratic(1.0, -5.0, 6.0);
+        r.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(r.len(), 2);
+        assert!((r[0] - 2.0).abs() < 1e-12);
+        assert!((r[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_handles_linear_case() {
+        let r = solve_quadratic(0.0, 2.0, -4.0);
+        assert_eq!(r, vec![2.0]);
+    }
+
+    #[test]
+    fn quadratic_no_real_roots() {
+        assert!(solve_quadratic(1.0, 0.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn road_curve_matches_direct_geometry() {
+        // Place a car at (x, y, -b) and verify it satisfies the hyperbola for
+        // the true AoA measured from the pole top with an x-axis baseline.
+        let b = 3.8; // ~12.5 ft pole
+        let car = Vec3::new(6.0, 4.0, -b);
+        let alpha = Vec3::new(1.0, 0.0, 0.0).angle_to(car);
+        let curve = RoadCurve::new(alpha, b);
+        assert!(curve.residual(car.x, car.y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn road_curve_yields_car_position() {
+        let b = 3.8;
+        let car = Vec3::new(7.5, -2.0, -b);
+        let alpha = Vec3::new(1.0, 0.0, 0.0).angle_to(car);
+        let curve = RoadCurve::new(alpha, b);
+        let (y_pos, y_neg) = curve.y_at(car.x).unwrap();
+        assert!((y_neg - car.y).abs() < 1e-9 || (y_pos - car.y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn road_curve_does_not_exist_too_close_to_pole() {
+        let curve = RoadCurve::new(60.0_f64.to_radians(), 4.0);
+        // At x = 0 the hyperbola cannot be satisfied (the pole is overhead).
+        assert!(curve.y_at(0.0).is_none());
+        assert!(curve.vertex_x() > 0.0);
+    }
+
+    #[test]
+    fn cone_contains_points_at_its_angle() {
+        let cone = ConeCurve::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), 0.7);
+        let p = Vec3::new(0.7_f64.cos() * 10.0, 0.7_f64.sin() * 10.0, 0.0);
+        assert!(cone.contains(p, 1e-9));
+        assert!(cone.residual(p).abs() < 1e-12);
+        let off = Vec3::new(10.0, 0.0, 0.0);
+        assert!(!cone.contains(off, 1e-3));
+    }
+
+    #[test]
+    fn cone_plane_intersection_matches_hyperbola_for_horizontal_axis() {
+        let b = 3.8;
+        let alpha = 75.0_f64.to_radians();
+        let cone = ConeCurve::new(Vec3::new(0.0, 0.0, b), Vec3::new(1.0, 0.0, 0.0), alpha);
+        let curve = RoadCurve::new(alpha, b);
+        for x in [3.0_f64, 5.0, 8.0, 12.0] {
+            let ys = cone.y_solutions_at(x, 0.0);
+            if let Some((yp, yn)) = curve.y_at(x) {
+                assert_eq!(ys.len(), 2, "x = {x}");
+                let mut expect = [yp, yn];
+                expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let mut got = ys.clone();
+                got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                for (g, e) in got.iter().zip(expect.iter()) {
+                    assert!((g - e).abs() < 1e-6, "x = {x}: {g} vs {e}");
+                }
+            } else {
+                assert!(ys.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn tilted_cone_intersection_contains_true_target() {
+        // Tilt the baseline 60 degrees out of the road plane, as in §12.2.
+        let b = 3.8;
+        let tilt = 60.0_f64.to_radians();
+        let axis = Vec3::new(tilt.cos(), 0.0, -tilt.sin());
+        let apex = Vec3::new(0.0, 0.0, b);
+        let car = Vec3::new(9.0, 3.0, 0.0);
+        let alpha = axis.angle_to(car - apex);
+        let cone = ConeCurve::new(apex, axis, alpha);
+        let ys = cone.y_solutions_at(car.x, 0.0);
+        assert!(
+            ys.iter().any(|y| (y - car.y).abs() < 1e-6),
+            "solutions {ys:?} should contain {}",
+            car.y
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Speed estimation from two localization fixes (§7).
+//!
+//! The car's speed is the distance between two position fixes divided by the
+//! time between them. The fixes come from readers on different poles whose
+//! clocks are synchronised over the Internet with NTP, so the delay carries a
+//! bounded synchronisation error; the position fixes carry a bounded
+//! localization error that depends on the pole height and the street's lane
+//! count (footnote 11). This module provides the estimator and the analytic
+//! error bounds the paper quotes (5.5 % at 20 mph and 6.8 % at 50 mph for
+//! poles 360 ft apart).
+
+use crate::units::{feet_to_meters, mph_to_mps};
+use crate::vec3::Vec3;
+
+/// Result of a speed estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedEstimate {
+    /// Estimated speed in metres per second.
+    pub speed_mps: f64,
+    /// Distance between the two fixes in metres.
+    pub distance_m: f64,
+    /// Elapsed time between the fixes in seconds.
+    pub elapsed_s: f64,
+}
+
+impl SpeedEstimate {
+    /// Speed in miles per hour.
+    pub fn speed_mph(&self) -> f64 {
+        crate::units::mps_to_mph(self.speed_mps)
+    }
+}
+
+/// Estimates speed from two `(position, timestamp)` fixes.
+///
+/// Returns `None` if the timestamps are not strictly increasing.
+pub fn speed_from_fixes(p1: Vec3, t1: f64, p2: Vec3, t2: f64) -> Option<SpeedEstimate> {
+    let elapsed = t2 - t1;
+    if elapsed <= 0.0 {
+        return None;
+    }
+    let distance = p1.distance(p2);
+    Some(SpeedEstimate {
+        speed_mps: distance / elapsed,
+        distance_m: distance,
+        elapsed_s: elapsed,
+    })
+}
+
+/// Maximum along-road localization error (metres) for a reader whose antennas
+/// sit `pole_height` metres above the road, covering `lanes` lanes of width
+/// `lane_width` metres in the same direction, at spatial angle `alpha`
+/// (radians). This is footnote 11 of the paper:
+///
+/// `error = |b − sqrt(b² + (l·w)²)| / tan(α)`
+///
+/// With a 13 ft pole, 2 lanes of 12 ft and α = 60°, this gives ≈ 8.5 ft.
+pub fn max_position_error(pole_height: f64, lanes: u32, lane_width: f64, alpha: f64) -> f64 {
+    let b = pole_height;
+    let lw = lanes as f64 * lane_width;
+    let num = (b - (b * b + lw * lw).sqrt()).abs();
+    num / alpha.tan().abs()
+}
+
+/// Upper bound on the *relative* speed error for a car travelling at
+/// `speed_mps` between two readers `separation` metres apart, when each fix
+/// carries at most `position_error` metres of error and the reader clocks are
+/// synchronised to within `time_sync_error` seconds:
+///
+/// `relative error ≤ (2·position_error + speed·time_sync_error) / separation`
+///
+/// (first-order bound: distance error plus timing error expressed as a
+/// distance).
+pub fn speed_error_bound(
+    speed_mps: f64,
+    separation: f64,
+    position_error: f64,
+    time_sync_error: f64,
+) -> f64 {
+    (2.0 * position_error + speed_mps * time_sync_error) / separation
+}
+
+/// Convenience: the paper's configuration of §7 — 13 ft pole, two 12 ft lanes
+/// per direction, α = 60°, poles separated by four light poles (≈360 ft),
+/// NTP synchronisation within 100 ms — evaluated at a speed given in mph.
+/// Returns the relative error bound (e.g. 0.055 for 5.5 %).
+pub fn paper_speed_error_bound(speed_mph: f64) -> f64 {
+    let pos_err = max_position_error(
+        feet_to_meters(13.0),
+        2,
+        feet_to_meters(12.0),
+        60.0_f64.to_radians(),
+    );
+    speed_error_bound(
+        mph_to_mps(speed_mph),
+        feet_to_meters(360.0),
+        pos_err,
+        0.1,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{meters_to_feet, mps_to_mph};
+
+    #[test]
+    fn speed_of_known_motion() {
+        let p1 = Vec3::new(0.0, 0.0, 0.0);
+        let p2 = Vec3::new(100.0, 0.0, 0.0);
+        let est = speed_from_fixes(p1, 0.0, p2, 10.0).unwrap();
+        assert!((est.speed_mps - 10.0).abs() < 1e-12);
+        assert!((est.distance_m - 100.0).abs() < 1e-12);
+        assert!((est.elapsed_s - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_positive_elapsed_is_rejected() {
+        let p = Vec3::ZERO;
+        assert!(speed_from_fixes(p, 1.0, p, 1.0).is_none());
+        assert!(speed_from_fixes(p, 2.0, p, 1.0).is_none());
+    }
+
+    #[test]
+    fn mph_conversion_on_estimate() {
+        let est = SpeedEstimate {
+            speed_mps: mph_to_mps(35.0),
+            distance_m: 1.0,
+            elapsed_s: 1.0,
+        };
+        assert!((est.speed_mph() - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn position_error_matches_paper_example() {
+        // 13 ft pole, 2 lanes of 12 ft, alpha = 60 degrees -> ~8.5 ft (§7).
+        let err = max_position_error(
+            feet_to_meters(13.0),
+            2,
+            feet_to_meters(12.0),
+            60.0_f64.to_radians(),
+        );
+        let err_ft = meters_to_feet(err);
+        assert!((err_ft - 8.5).abs() < 0.5, "got {err_ft} ft");
+    }
+
+    #[test]
+    fn position_error_decreases_with_taller_pole_relative_to_width() {
+        // The error term |b - sqrt(b^2 + L^2)| grows sublinearly in b and the
+        // relative impact of the cross-road span L shrinks as b grows.
+        let low = max_position_error(3.0, 2, 3.6, 60.0_f64.to_radians());
+        let high = max_position_error(30.0, 2, 3.6, 60.0_f64.to_radians());
+        // For very tall poles, sqrt(b^2+L^2) ~ b + L^2/2b -> error -> 0 relative to L.
+        assert!(high < low + 1.0);
+    }
+
+    #[test]
+    fn speed_error_bound_matches_paper_numbers() {
+        // Paper §7: 5.5 % at 20 mph and 6.8 % at 50 mph.
+        let e20 = paper_speed_error_bound(20.0);
+        let e50 = paper_speed_error_bound(50.0);
+        assert!((e20 - 0.055).abs() < 0.006, "20 mph bound {e20}");
+        assert!((e50 - 0.068).abs() < 0.006, "50 mph bound {e50}");
+        assert!(e50 > e20);
+    }
+
+    #[test]
+    fn error_bound_improves_with_separation() {
+        let near = speed_error_bound(10.0, 50.0, 2.0, 0.05);
+        let far = speed_error_bound(10.0, 200.0, 2.0, 0.05);
+        assert!(far < near);
+    }
+
+    #[test]
+    fn estimated_speed_error_within_bound_for_synthetic_errors() {
+        // Simulate fixes corrupted by worst-case position and timing error and
+        // check the observed error respects the analytic bound.
+        let sep = feet_to_meters(360.0);
+        let pos_err = max_position_error(
+            feet_to_meters(13.0),
+            2,
+            feet_to_meters(12.0),
+            60.0_f64.to_radians(),
+        );
+        let dt_err = 0.1;
+        for &mph in &[20.0, 35.0, 50.0] {
+            let v = mph_to_mps(mph);
+            let t = sep / v;
+            // Worst case: both fixes biased towards each other, timing stretched.
+            let est = speed_from_fixes(
+                Vec3::new(pos_err, 0.0, 0.0),
+                0.0,
+                Vec3::new(sep - pos_err, 0.0, 0.0),
+                t + dt_err,
+            )
+            .unwrap();
+            let rel_err = (est.speed_mps - v).abs() / v;
+            let bound = speed_error_bound(v, sep, pos_err, dt_err);
+            assert!(rel_err <= bound + 1e-9, "{mph} mph: {rel_err} > {bound}");
+            let _ = mps_to_mph(est.speed_mps);
+        }
+    }
+}

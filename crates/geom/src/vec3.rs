@@ -1,0 +1,216 @@
+//! Three-dimensional vectors and points.
+//!
+//! Coordinate convention used across the workspace (matching Fig. 7 of the
+//! paper): the origin is at the centre of the reader's measuring antennas on
+//! top of the pole, `x` runs along the road (the cone's altitude axis), `y` is
+//! across the road, and `z` is vertical (the road surface is the plane
+//! `z = -b` where `b` is the pole height).
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A vector (or point) in 3-D space, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// Along-road component.
+    pub x: f64,
+    /// Across-road component.
+    pub y: f64,
+    /// Vertical component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Creates a vector from components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Dot product.
+    pub fn dot(self, rhs: Vec3) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared norm.
+    pub fn norm_sqr(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Distance to another point.
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Returns the unit vector in the same direction.
+    ///
+    /// # Panics
+    /// Panics if the vector is (numerically) zero.
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalise the zero vector");
+        self / n
+    }
+
+    /// Angle in radians between this vector and another (in `[0, π]`).
+    pub fn angle_to(self, other: Vec3) -> f64 {
+        let cosine = self.dot(other) / (self.norm() * other.norm());
+        cosine.clamp(-1.0, 1.0).acos()
+    }
+
+    /// Projects the vector onto the horizontal plane (sets `z` to zero).
+    pub fn horizontal(self) -> Vec3 {
+        Vec3::new(self.x, self.y, 0.0)
+    }
+
+    /// Returns `true` if all components are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    fn div(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_of_orthogonal_axes_is_zero() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(x.dot(y), 0.0);
+    }
+
+    #[test]
+    fn cross_of_axes_follows_right_hand_rule() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(x.cross(y), Vec3::new(0.0, 0.0, 1.0));
+        assert_eq!(y.cross(x), Vec3::new(0.0, 0.0, -1.0));
+    }
+
+    #[test]
+    fn norm_of_pythagorean_triple() {
+        assert!((Vec3::new(3.0, 4.0, 12.0).norm() - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 0.0, 7.5);
+        assert!((a.distance(b) - b.distance(a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalized_has_unit_length() {
+        let v = Vec3::new(2.0, -3.0, 6.0).normalized();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn normalizing_zero_panics() {
+        Vec3::ZERO.normalized();
+    }
+
+    #[test]
+    fn angle_between_axes_is_90_degrees() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let z = Vec3::new(0.0, 0.0, 5.0);
+        assert!((x.angle_to(z) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_to_self_is_zero() {
+        let v = Vec3::new(0.3, -0.4, 0.5);
+        assert!(v.angle_to(v) < 1e-6);
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b - b, a);
+        assert_eq!(-(-a), a);
+        assert_eq!(a * 2.0, 2.0 * a);
+        assert_eq!((a * 2.0) / 2.0, a);
+    }
+
+    #[test]
+    fn horizontal_projection_zeroes_z() {
+        let v = Vec3::new(1.0, 2.0, 3.0).horizontal();
+        assert_eq!(v, Vec3::new(1.0, 2.0, 0.0));
+    }
+}

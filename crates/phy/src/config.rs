@@ -1,0 +1,112 @@
+//! Sampling and signal-generation configuration.
+
+use crate::timing::{BIT_DURATION_S, RESPONSE_BITS, RESPONSE_DURATION_S};
+
+/// Configuration of the simulated receive chain.
+///
+/// The defaults reproduce the paper's numbers: complex baseband sampling at
+/// 4 MS/s over the 512 µs response gives a 2048-point FFT with 1.95 kHz bins,
+/// and the 1.2 MHz CFO span covers 615 bins (§5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalConfig {
+    /// Complex baseband sample rate in Hz.
+    pub sample_rate: f64,
+    /// Per-component standard deviation of the additive receiver noise.
+    pub noise_std: f64,
+    /// Reference channel amplitude at 1 m used by the propagation model; the
+    /// amplitude at distance `d` scales as `reference_amplitude / d`.
+    pub reference_amplitude: f64,
+}
+
+impl Default for SignalConfig {
+    fn default() -> Self {
+        Self {
+            sample_rate: 4.0e6,
+            noise_std: 0.005,
+            reference_amplitude: 1.0,
+        }
+    }
+}
+
+impl SignalConfig {
+    /// Number of samples in a full 512 µs response window.
+    pub fn response_samples(&self) -> usize {
+        (RESPONSE_DURATION_S * self.sample_rate).round() as usize
+    }
+
+    /// Number of samples per data bit (2 µs).
+    pub fn samples_per_bit(&self) -> usize {
+        (BIT_DURATION_S * self.sample_rate).round() as usize
+    }
+
+    /// Number of samples per Manchester chip (half a bit).
+    pub fn samples_per_chip(&self) -> usize {
+        self.samples_per_bit() / 2
+    }
+
+    /// FFT bin resolution for a full-response window, Hz.
+    pub fn bin_resolution(&self) -> f64 {
+        self.sample_rate / self.response_samples() as f64
+    }
+
+    /// Number of FFT bins spanned by the 1.2 MHz CFO range.
+    pub fn cfo_bins(&self) -> usize {
+        (crate::timing::CFO_SPAN_HZ / self.bin_resolution()).round() as usize
+    }
+
+    /// Validates that the configuration is internally consistent (power-of-two
+    /// response window, integer chips).
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.response_samples();
+        if !caraoke_dsp::fft::is_power_of_two(n) {
+            return Err(format!(
+                "response window of {n} samples is not a power of two; pick a sample rate of the form 2^k / 512us"
+            ));
+        }
+        if self.samples_per_bit() % 2 != 0 {
+            return Err("samples per bit must be even (two Manchester chips)".into());
+        }
+        if self.samples_per_bit() * RESPONSE_BITS != n {
+            return Err("bit duration times bit count must equal the response window".into());
+        }
+        if self.sample_rate <= 0.0 {
+            return Err("sample rate must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper_dimensions() {
+        let cfg = SignalConfig::default();
+        assert_eq!(cfg.response_samples(), 2048);
+        assert_eq!(cfg.samples_per_bit(), 8);
+        assert_eq!(cfg.samples_per_chip(), 4);
+        assert!((cfg.bin_resolution() - 1953.125).abs() < 1e-9);
+        assert_eq!(cfg.cfo_bins(), 614);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn higher_sample_rate_still_validates() {
+        let cfg = SignalConfig {
+            sample_rate: 8.0e6,
+            ..Default::default()
+        };
+        assert_eq!(cfg.response_samples(), 4096);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_sample_rate_is_rejected() {
+        let cfg = SignalConfig {
+            sample_rate: 3.0e6,
+            ..Default::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+}

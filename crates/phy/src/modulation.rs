@@ -1,0 +1,179 @@
+//! Manchester-coded on-off keying (Eq. 1 of the paper).
+//!
+//! The transponder sends a "1" chip by transmitting the carrier and a "0"
+//! chip by staying silent (OOK). Each data bit is Manchester encoded into two
+//! chips — `1 → (1, 0)`, `0 → (0, 1)` — which guarantees the baseband
+//! waveform has a 50 % duty cycle and therefore zero mean once the DC offset
+//! is removed (`s'(t)` in Eq. 4). That zero-mean property is what makes the
+//! spectral spike at the CFO a clean channel estimate (`R(Δf) = h/2`, Eq. 5).
+
+use caraoke_dsp::Complex;
+
+/// Encodes data bits into Manchester chips: `1 → [1, 0]`, `0 → [0, 1]`.
+pub fn manchester_encode(bits: &[u8]) -> Vec<u8> {
+    let mut chips = Vec::with_capacity(bits.len() * 2);
+    for &b in bits {
+        if b & 1 == 1 {
+            chips.push(1);
+            chips.push(0);
+        } else {
+            chips.push(0);
+            chips.push(1);
+        }
+    }
+    chips
+}
+
+/// Decodes Manchester chips back into bits. Chip pairs that are not a valid
+/// Manchester symbol (`[1,0]` or `[0,1]`) are resolved in favour of the first
+/// chip, which is the maximum-likelihood choice after soft averaging.
+/// Returns `None` if the chip count is odd.
+pub fn manchester_decode(chips: &[u8]) -> Option<Vec<u8>> {
+    if chips.len() % 2 != 0 {
+        return None;
+    }
+    Some(
+        chips
+            .chunks_exact(2)
+            .map(|pair| match (pair[0] & 1, pair[1] & 1) {
+                (1, 0) => 1,
+                (0, 1) => 0,
+                (first, _) => first,
+            })
+            .collect(),
+    )
+}
+
+/// Generates the baseband OOK waveform `s(t) ∈ {0, 1}` of a chip sequence:
+/// each chip spans `samples_per_chip` samples.
+pub fn ook_baseband(chips: &[u8], samples_per_chip: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(chips.len() * samples_per_chip);
+    for &c in chips {
+        let level = if c & 1 == 1 { 1.0 } else { 0.0 };
+        out.extend(std::iter::repeat(level).take(samples_per_chip));
+    }
+    out
+}
+
+/// Soft-decodes a baseband waveform back into chips by averaging the samples
+/// of each chip period and comparing the two halves of every Manchester
+/// symbol. The decision is differential (first half vs second half), which is
+/// robust to unknown overall amplitude. Operates on the *real part* of a
+/// complex baseband signal — after CFO compensation and channel equalisation
+/// the signal of interest is real and non-negative.
+pub fn slice_bits(signal: &[Complex], samples_per_chip: usize, n_bits: usize) -> Vec<u8> {
+    let mut bits = Vec::with_capacity(n_bits);
+    for bit_idx in 0..n_bits {
+        let first_start = bit_idx * 2 * samples_per_chip;
+        let second_start = first_start + samples_per_chip;
+        let first = chip_energy(signal, first_start, samples_per_chip);
+        let second = chip_energy(signal, second_start, samples_per_chip);
+        bits.push(if first >= second { 1 } else { 0 });
+    }
+    bits
+}
+
+/// Mean of the real part over one chip period (zero if out of range).
+fn chip_energy(signal: &[Complex], start: usize, len: usize) -> f64 {
+    if start >= signal.len() || len == 0 {
+        return 0.0;
+    }
+    let end = (start + len).min(signal.len());
+    let slice = &signal[start..end];
+    slice.iter().map(|c| c.re).sum::<f64>() / slice.len() as f64
+}
+
+/// The fraction of "carrier on" time in a chip sequence. Manchester encoding
+/// makes this exactly 0.5, giving the baseband signal a DC component of 1/2
+/// (the `0.5 + s'(t)` decomposition of Eq. 4).
+pub fn duty_cycle(chips: &[u8]) -> f64 {
+    if chips.is_empty() {
+        return 0.0;
+    }
+    chips.iter().filter(|&&c| c & 1 == 1).count() as f64 / chips.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manchester_round_trip() {
+        let bits: Vec<u8> = (0..64).map(|i| (i * 7 % 3 == 0) as u8).collect();
+        let chips = manchester_encode(&bits);
+        assert_eq!(chips.len(), bits.len() * 2);
+        let decoded = manchester_decode(&chips).unwrap();
+        assert_eq!(decoded, bits);
+    }
+
+    #[test]
+    fn manchester_duty_cycle_is_half() {
+        let bits: Vec<u8> = (0..256).map(|i| (i % 5 == 0) as u8).collect();
+        let chips = manchester_encode(&bits);
+        assert!((duty_cycle(&chips) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manchester_decode_rejects_odd_length() {
+        assert!(manchester_decode(&[1, 0, 1]).is_none());
+    }
+
+    #[test]
+    fn ook_baseband_expands_chips() {
+        let wave = ook_baseband(&[1, 0, 1], 4);
+        assert_eq!(wave.len(), 12);
+        assert_eq!(&wave[..4], &[1.0; 4]);
+        assert_eq!(&wave[4..8], &[0.0; 4]);
+        assert_eq!(&wave[8..], &[1.0; 4]);
+    }
+
+    #[test]
+    fn slice_bits_recovers_clean_signal() {
+        let bits: Vec<u8> = (0..32).map(|i| ((i * 13) % 7 < 3) as u8).collect();
+        let chips = manchester_encode(&bits);
+        let wave = ook_baseband(&chips, 4);
+        let signal: Vec<Complex> = wave.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        let sliced = slice_bits(&signal, 4, bits.len());
+        assert_eq!(sliced, bits);
+    }
+
+    #[test]
+    fn slice_bits_is_amplitude_invariant() {
+        let bits: Vec<u8> = vec![1, 0, 0, 1, 1, 1, 0, 1];
+        let chips = manchester_encode(&bits);
+        let wave = ook_baseband(&chips, 8);
+        for amp in [0.01, 1.0, 250.0] {
+            let signal: Vec<Complex> = wave.iter().map(|&x| Complex::new(x * amp, 0.3)).collect();
+            assert_eq!(slice_bits(&signal, 8, bits.len()), bits);
+        }
+    }
+
+    #[test]
+    fn slice_bits_tolerates_truncated_signal() {
+        let bits: Vec<u8> = vec![1, 0, 1, 1];
+        let chips = manchester_encode(&bits);
+        let wave = ook_baseband(&chips, 4);
+        let mut signal: Vec<Complex> = wave.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        signal.truncate(signal.len() - 6);
+        let sliced = slice_bits(&signal, 4, bits.len());
+        assert_eq!(sliced.len(), bits.len());
+        assert_eq!(&sliced[..3], &bits[..3]);
+    }
+
+    #[test]
+    fn duty_cycle_edge_cases() {
+        assert_eq!(duty_cycle(&[]), 0.0);
+        assert_eq!(duty_cycle(&[1, 1, 1, 1]), 1.0);
+        assert_eq!(duty_cycle(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn paper_waveform_dimensions() {
+        // 256 bits -> 512 chips -> at 4 MS/s and 2 us/bit each chip is 4
+        // samples -> 2048 samples = 512 us.
+        let bits = vec![0u8; 256];
+        let chips = manchester_encode(&bits);
+        let wave = ook_baseband(&chips, 4);
+        assert_eq!(wave.len(), 2048);
+    }
+}

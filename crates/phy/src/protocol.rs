@@ -1,0 +1,286 @@
+//! Transponder packet format (Fig. 2(b) of the paper).
+//!
+//! The transponder's 256-bit response carries a factory-fixed portion, an
+//! agency-fixed portion, a programmable portion and a checksum. The paper
+//! does not publish the exact field boundaries, so this module uses a
+//! documented assumption (see [`TransponderPacket`]) that preserves what the
+//! reader algorithms rely on: a device identity, some agency metadata, and a
+//! CRC that lets the decoder know when coherent combining has succeeded
+//! (§12.4: "the reader keeps combining collisions until the decoded id passes
+//! the checksum test").
+
+/// Total number of bits in a transponder response.
+pub const PACKET_BITS: usize = 256;
+
+/// Number of CRC bits at the end of the packet.
+pub const CRC_BITS: usize = 16;
+
+/// Number of programmable (account/agency-assigned) bits.
+pub const PROGRAMMABLE_BITS: usize = 64;
+
+/// Number of agency-fixed bits.
+pub const AGENCY_BITS: usize = 80;
+
+/// Number of factory-fixed bits.
+pub const FACTORY_BITS: usize = PACKET_BITS - CRC_BITS - PROGRAMMABLE_BITS - AGENCY_BITS;
+
+/// A transponder identity: the 64-bit programmable field that identifies the
+/// driver's account (what toll systems bill against).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TransponderId(pub u64);
+
+impl std::fmt::Display for TransponderId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tag-{:016x}", self.0)
+    }
+}
+
+/// A fully-specified 256-bit transponder packet.
+///
+/// Field split (documented assumption, see module docs):
+/// 64-bit programmable id ‖ 80-bit agency field ‖ 96-bit factory field ‖
+/// 16-bit CRC-16/CCITT-FALSE over the preceding 240 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransponderPacket {
+    /// Programmable field: the account id.
+    pub id: TransponderId,
+    /// Agency-fixed field (issuing agency, tag type, ...).
+    pub agency: u128,
+    /// Factory-fixed field (serial number, hardware revision, ...).
+    pub factory: u128,
+}
+
+impl TransponderPacket {
+    /// Creates a packet with the given fields. The agency field is truncated
+    /// to 80 bits and the factory field to 96 bits.
+    pub fn new(id: TransponderId, agency: u128, factory: u128) -> Self {
+        Self {
+            id,
+            agency: agency & ((1u128 << AGENCY_BITS) - 1),
+            factory: factory & ((1u128 << FACTORY_BITS) - 1),
+        }
+    }
+
+    /// Convenience constructor deriving deterministic agency/factory fields
+    /// from the id (useful for simulations where only the id matters).
+    pub fn from_id(id: TransponderId) -> Self {
+        let agency = (id.0 as u128).wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((1u128 << AGENCY_BITS) - 1);
+        let factory =
+            (id.0 as u128).wrapping_mul(0xC2B2_AE3D_27D4_EB4F) & ((1u128 << FACTORY_BITS) - 1);
+        Self::new(id, agency, factory)
+    }
+
+    /// Serialises the packet to its 256-bit over-the-air representation
+    /// (MSB-first within each field), including the CRC.
+    ///
+    /// The 240 payload bits are *whitened* (XORed with a fixed pseudo-random
+    /// sequence) before transmission, as real tags and most OOK protocols do,
+    /// so that low-entropy account numbers do not create long runs whose
+    /// Manchester pattern would concentrate energy into discrete spectral
+    /// lines. The CRC is computed over the whitened payload as transmitted.
+    pub fn to_bits(&self) -> Vec<u8> {
+        let mut bits = Vec::with_capacity(PACKET_BITS);
+        push_bits(&mut bits, self.id.0 as u128, PROGRAMMABLE_BITS);
+        push_bits(&mut bits, self.agency, AGENCY_BITS);
+        push_bits(&mut bits, self.factory, FACTORY_BITS);
+        whiten(&mut bits);
+        let crc = crc16(&bits);
+        push_bits(&mut bits, crc as u128, CRC_BITS);
+        debug_assert_eq!(bits.len(), PACKET_BITS);
+        bits
+    }
+
+    /// Parses and validates a 256-bit response. Returns `None` if the length
+    /// is wrong or the CRC does not match.
+    pub fn from_bits(bits: &[u8]) -> Option<Self> {
+        if bits.len() != PACKET_BITS {
+            return None;
+        }
+        let payload = &bits[..PACKET_BITS - CRC_BITS];
+        let expected = crc16(payload);
+        let got = read_bits(&bits[PACKET_BITS - CRC_BITS..], CRC_BITS) as u16;
+        if expected != got {
+            return None;
+        }
+        let mut payload = payload.to_vec();
+        whiten(&mut payload);
+        let id = read_bits(&payload[..PROGRAMMABLE_BITS], PROGRAMMABLE_BITS) as u64;
+        let agency = read_bits(
+            &payload[PROGRAMMABLE_BITS..PROGRAMMABLE_BITS + AGENCY_BITS],
+            AGENCY_BITS,
+        );
+        let factory = read_bits(
+            &payload[PROGRAMMABLE_BITS + AGENCY_BITS..],
+            FACTORY_BITS,
+        );
+        Some(Self {
+            id: TransponderId(id),
+            agency,
+            factory,
+        })
+    }
+
+    /// Returns `true` if a bit vector parses and its CRC verifies.
+    pub fn verify(bits: &[u8]) -> bool {
+        Self::from_bits(bits).is_some()
+    }
+}
+
+/// XORs a bit vector with a fixed pseudo-random whitening sequence (an
+/// involution: applying it twice restores the original bits).
+fn whiten(bits: &mut [u8]) {
+    // Galois LFSR with polynomial x^16 + x^14 + x^13 + x^11 + 1 (0xD008),
+    // seeded with a fixed non-zero state.
+    let mut state: u16 = 0xACE1;
+    for b in bits.iter_mut() {
+        let out = (state & 1) as u8;
+        state >>= 1;
+        if out == 1 {
+            state ^= 0xD008;
+        }
+        *b ^= out;
+    }
+}
+
+/// Appends the `n` least-significant bits of `value` MSB-first.
+fn push_bits(bits: &mut Vec<u8>, value: u128, n: usize) {
+    for i in (0..n).rev() {
+        bits.push(((value >> i) & 1) as u8);
+    }
+}
+
+/// Reads up to 128 bits MSB-first.
+fn read_bits(bits: &[u8], n: usize) -> u128 {
+    let mut v: u128 = 0;
+    for &b in bits.iter().take(n) {
+        v = (v << 1) | (b as u128 & 1);
+    }
+    v
+}
+
+/// CRC-16/CCITT-FALSE computed over a bit slice (one bit per byte, values
+/// 0/1), processing bits MSB-first with polynomial 0x1021 and initial value
+/// 0xFFFF.
+pub fn crc16(bits: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &bit in bits {
+        let input = (bit & 1) as u16;
+        let msb = (crc >> 15) & 1;
+        crc <<= 1;
+        if msb ^ input == 1 {
+            crc ^= 0x1021;
+        }
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_round_trips_through_bits() {
+        let pkt = TransponderPacket::new(TransponderId(0xDEAD_BEEF_0123_4567), 0xABCDEF, 42);
+        let bits = pkt.to_bits();
+        assert_eq!(bits.len(), PACKET_BITS);
+        let parsed = TransponderPacket::from_bits(&bits).expect("CRC should verify");
+        assert_eq!(parsed, pkt);
+    }
+
+    #[test]
+    fn field_widths_sum_to_packet_size() {
+        assert_eq!(
+            PROGRAMMABLE_BITS + AGENCY_BITS + FACTORY_BITS + CRC_BITS,
+            PACKET_BITS
+        );
+    }
+
+    #[test]
+    fn corrupted_bit_fails_crc() {
+        let pkt = TransponderPacket::from_id(TransponderId(7));
+        let mut bits = pkt.to_bits();
+        for flip in [0usize, 63, 100, 200, 255] {
+            bits[flip] ^= 1;
+            assert!(
+                TransponderPacket::from_bits(&bits).is_none(),
+                "flip at {flip} should break CRC"
+            );
+            bits[flip] ^= 1;
+        }
+        assert!(TransponderPacket::verify(&bits));
+    }
+
+    #[test]
+    fn wrong_length_is_rejected() {
+        assert!(TransponderPacket::from_bits(&[0u8; 255]).is_none());
+        assert!(TransponderPacket::from_bits(&[]).is_none());
+    }
+
+    #[test]
+    fn agency_and_factory_fields_are_masked() {
+        let pkt = TransponderPacket::new(TransponderId(1), u128::MAX, u128::MAX);
+        assert_eq!(pkt.agency, (1u128 << AGENCY_BITS) - 1);
+        assert_eq!(pkt.factory, (1u128 << FACTORY_BITS) - 1);
+    }
+
+    #[test]
+    fn distinct_ids_give_distinct_bits() {
+        let a = TransponderPacket::from_id(TransponderId(1)).to_bits();
+        let b = TransponderPacket::from_id(TransponderId(2)).to_bits();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn crc_of_empty_is_initial_value() {
+        assert_eq!(crc16(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn crc_detects_swapped_bits() {
+        let pkt = TransponderPacket::from_id(TransponderId(0x1234));
+        let mut bits = pkt.to_bits();
+        // Swap two different bits.
+        let (i, j) = (10, 70);
+        if bits[i] != bits[j] {
+            bits.swap(i, j);
+            assert!(TransponderPacket::from_bits(&bits).is_none());
+        }
+    }
+
+    #[test]
+    fn whitening_is_an_involution() {
+        let mut bits: Vec<u8> = (0..240).map(|i| (i % 3 == 0) as u8).collect();
+        let original = bits.clone();
+        whiten(&mut bits);
+        assert_ne!(bits, original, "whitening must change the bits");
+        whiten(&mut bits);
+        assert_eq!(bits, original, "whitening twice must restore the bits");
+    }
+
+    #[test]
+    fn low_entropy_ids_transmit_balanced_bits() {
+        // A tiny account number must not produce long runs of zeros on air:
+        // the whitener keeps the ones-density near 50 % and breaks up runs.
+        let bits = TransponderPacket::new(TransponderId(1), 0, 0).to_bits();
+        let ones = bits.iter().filter(|&&b| b == 1).count();
+        assert!((90..=166).contains(&ones), "ones count {ones} too skewed");
+        let longest_run = bits
+            .split(|&b| b == 1)
+            .map(|run| run.len())
+            .max()
+            .unwrap_or(0);
+        assert!(longest_run < 24, "longest zero run {longest_run}");
+    }
+
+    #[test]
+    fn display_formats_id() {
+        let id = TransponderId(0xAB);
+        assert_eq!(format!("{id}"), "tag-00000000000000ab");
+    }
+
+    #[test]
+    fn all_bits_are_binary() {
+        let bits = TransponderPacket::from_id(TransponderId(u64::MAX)).to_bits();
+        assert!(bits.iter().all(|&b| b == 0 || b == 1));
+    }
+}

@@ -1,0 +1,68 @@
+//! Protocol timing constants (Fig. 2(a) of the paper).
+//!
+//! The reader's query is a bare 915 MHz sine of 20 µs; the transponder
+//! answers 100 µs later with a 512 µs, 256-bit response. Queries are issued
+//! roughly every millisecond when decoding (§12.4), and the multi-reader MAC
+//! requires sensing the medium for at least query + turnaround = 120 µs (§9).
+
+/// Duration of the reader's query signal, seconds (20 µs).
+pub const QUERY_DURATION_S: f64 = 20e-6;
+
+/// Gap between the end of the query and the start of the transponder
+/// response, seconds (100 µs).
+pub const TURNAROUND_S: f64 = 100e-6;
+
+/// Duration of the 256-bit transponder response, seconds (512 µs).
+pub const RESPONSE_DURATION_S: f64 = 512e-6;
+
+/// Number of bits in a transponder response.
+pub const RESPONSE_BITS: usize = 256;
+
+/// Duration of one response bit, seconds (2 µs).
+pub const BIT_DURATION_S: f64 = RESPONSE_DURATION_S / RESPONSE_BITS as f64;
+
+/// Nominal period between successive reader queries when decoding, seconds
+/// (≈1 ms, §12.4: "the queries are separated by 1 ms").
+pub const QUERY_PERIOD_S: f64 = 1e-3;
+
+/// Minimum time a reader must sense the medium idle before transmitting a
+/// query (§9): query duration + turnaround = 120 µs.
+pub const CARRIER_SENSE_S: f64 = QUERY_DURATION_S + TURNAROUND_S;
+
+/// Carrier frequency of the e-toll system, Hz (915 MHz).
+pub const CARRIER_FREQUENCY_HZ: f64 = 915.0e6;
+
+/// Span of transponder carrier frequencies, Hz (914.3–915.5 MHz ⇒ 1.2 MHz of
+/// possible CFO, §3).
+pub const CFO_SPAN_HZ: f64 = 1.2e6;
+
+/// Radio range of a Caraoke reader, metres (≈100 feet, §9 footnote 13).
+pub const READER_RANGE_M: f64 = 30.48;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_duration_is_two_microseconds() {
+        assert!((BIT_DURATION_S - 2e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn carrier_sense_matches_paper() {
+        assert!((CARRIER_SENSE_S - 120e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn response_fits_within_query_period() {
+        assert!(QUERY_DURATION_S + TURNAROUND_S + RESPONSE_DURATION_S < QUERY_PERIOD_S);
+    }
+
+    #[test]
+    fn cfo_span_to_fft_bins_matches_paper() {
+        // N = 1.2 MHz / 1.95 kHz ≈ 615 bins (§5; the paper rounds up).
+        let bin = 1.0 / RESPONSE_DURATION_S;
+        let n = (CFO_SPAN_HZ / bin).ceil() as usize;
+        assert_eq!(n, 615);
+    }
+}

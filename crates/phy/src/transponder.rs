@@ -1,0 +1,130 @@
+//! The transponder (tag) model.
+//!
+//! A transponder is an active RFID glued to a car's windshield: it has a
+//! battery, a free-running oscillator (hence a per-device CFO), and a fixed
+//! 256-bit response that it transmits — immediately, with no MAC — whenever
+//! it hears a reader query (§3).
+
+use crate::cfo::CfoModel;
+use crate::config::SignalConfig;
+use crate::modulation::{manchester_encode, ook_baseband};
+use crate::protocol::{TransponderId, TransponderPacket};
+use caraoke_geom::Vec3;
+use rand::Rng;
+
+/// A simulated e-toll transponder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transponder {
+    /// The tag's 256-bit packet (identity, agency and factory fields, CRC).
+    pub packet: TransponderPacket,
+    /// The tag's carrier frequency in Hz (within 914.3–915.5 MHz).
+    pub carrier_hz: f64,
+    /// Position of the tag (windshield height) in the global frame, metres.
+    pub position: Vec3,
+}
+
+impl Transponder {
+    /// Creates a transponder with an explicit packet, carrier and position.
+    pub fn new(packet: TransponderPacket, carrier_hz: f64, position: Vec3) -> Self {
+        Self {
+            packet,
+            carrier_hz,
+            position,
+        }
+    }
+
+    /// Creates a transponder with the given numeric id, drawing its carrier
+    /// frequency from `cfo_model`.
+    pub fn with_id<R: Rng + ?Sized>(
+        id: u64,
+        position: Vec3,
+        cfo_model: CfoModel,
+        rng: &mut R,
+    ) -> Self {
+        Self::new(
+            TransponderPacket::from_id(TransponderId(id)),
+            cfo_model.sample_carrier(rng),
+            position,
+        )
+    }
+
+    /// The tag's identity.
+    pub fn id(&self) -> TransponderId {
+        self.packet.id
+    }
+
+    /// CFO relative to the reader's bottom-of-band local oscillator, Hz
+    /// (always in `[0, 1.2 MHz]`).
+    pub fn cfo(&self) -> f64 {
+        CfoModel::cfo_of_carrier(self.carrier_hz)
+    }
+
+    /// The tag's response as Manchester chips (512 chips for 256 bits).
+    pub fn chips(&self) -> Vec<u8> {
+        manchester_encode(&self.packet.to_bits())
+    }
+
+    /// The tag's baseband OOK waveform `s(t) ∈ {0,1}` sampled per `config`
+    /// (2048 samples with the default 4 MS/s configuration).
+    pub fn baseband_waveform(&self, config: &SignalConfig) -> Vec<f64> {
+        ook_baseband(&self.chips(), config.samples_per_chip())
+    }
+
+    /// Moves the transponder to a new position (cars move between queries).
+    pub fn set_position(&mut self, position: Vec3) {
+        self.position = position;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn waveform_has_expected_length_and_levels() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let tag = Transponder::with_id(42, Vec3::ZERO, CfoModel::Uniform, &mut rng);
+        let cfg = SignalConfig::default();
+        let wave = tag.baseband_waveform(&cfg);
+        assert_eq!(wave.len(), cfg.response_samples());
+        assert!(wave.iter().all(|&x| x == 0.0 || x == 1.0));
+        // Manchester coding: exactly half of the samples carry the carrier.
+        let on: f64 = wave.iter().sum();
+        assert!((on - wave.len() as f64 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cfo_is_within_span() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..100 {
+            let tag = Transponder::with_id(i, Vec3::ZERO, CfoModel::Empirical, &mut rng);
+            assert!(tag.cfo() >= 0.0 && tag.cfo() <= crate::timing::CFO_SPAN_HZ);
+        }
+    }
+
+    #[test]
+    fn id_round_trips() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let tag = Transponder::with_id(0xABCD, Vec3::ZERO, CfoModel::Uniform, &mut rng);
+        assert_eq!(tag.id(), TransponderId(0xABCD));
+    }
+
+    #[test]
+    fn distinct_tags_have_distinct_waveforms() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Transponder::with_id(1, Vec3::ZERO, CfoModel::Uniform, &mut rng);
+        let b = Transponder::with_id(2, Vec3::ZERO, CfoModel::Uniform, &mut rng);
+        let cfg = SignalConfig::default();
+        assert_ne!(a.baseband_waveform(&cfg), b.baseband_waveform(&cfg));
+    }
+
+    #[test]
+    fn set_position_updates_position() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut tag = Transponder::with_id(9, Vec3::ZERO, CfoModel::Uniform, &mut rng);
+        tag.set_position(Vec3::new(1.0, 2.0, 0.5));
+        assert_eq!(tag.position, Vec3::new(1.0, 2.0, 0.5));
+    }
+}

@@ -1,0 +1,112 @@
+//! Rechargeable battery model.
+//!
+//! The reader stores harvested solar energy in a small rechargeable battery
+//! so it can run at night and on cloudy days (§10). The model tracks state of
+//! charge in joules with charge/discharge efficiency.
+
+/// A rechargeable battery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Battery {
+    /// Usable capacity in joules.
+    pub capacity_j: f64,
+    /// Current stored energy in joules.
+    pub charge_j: f64,
+    /// Fraction of charging energy actually stored.
+    pub charge_efficiency: f64,
+}
+
+impl Battery {
+    /// Creates a battery of `capacity_j` joules starting at the given state
+    /// of charge (fraction of capacity).
+    pub fn new(capacity_j: f64, initial_soc: f64) -> Self {
+        Self {
+            capacity_j,
+            charge_j: capacity_j * initial_soc.clamp(0.0, 1.0),
+            charge_efficiency: 0.9,
+        }
+    }
+
+    /// A 1000 mAh, 3.7 V lithium cell (≈13.3 kJ), a typical choice for a
+    /// board of this size.
+    pub fn small_lithium() -> Self {
+        Self::new(1.0 * 3.7 * 3600.0, 0.5)
+    }
+
+    /// State of charge in `[0, 1]`.
+    pub fn soc(&self) -> f64 {
+        if self.capacity_j <= 0.0 {
+            0.0
+        } else {
+            (self.charge_j / self.capacity_j).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Adds harvested energy, returning the energy actually stored (losses
+    /// and overflow excluded).
+    pub fn charge(&mut self, energy_j: f64) -> f64 {
+        let stored = (energy_j.max(0.0) * self.charge_efficiency)
+            .min(self.capacity_j - self.charge_j);
+        self.charge_j += stored;
+        stored
+    }
+
+    /// Draws energy, returning `true` if the battery could supply it fully.
+    pub fn discharge(&mut self, energy_j: f64) -> bool {
+        let e = energy_j.max(0.0);
+        if e <= self.charge_j {
+            self.charge_j -= e;
+            true
+        } else {
+            self.charge_j = 0.0;
+            false
+        }
+    }
+
+    /// Whether the battery is empty.
+    pub fn is_empty(&self) -> bool {
+        self.charge_j <= 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_discharge_round_trip() {
+        let mut b = Battery::new(1000.0, 0.0);
+        let stored = b.charge(100.0);
+        assert!((stored - 90.0).abs() < 1e-12);
+        assert!(b.discharge(50.0));
+        assert!((b.charge_j - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cannot_overcharge() {
+        let mut b = Battery::new(100.0, 0.9);
+        let stored = b.charge(1000.0);
+        assert!(stored <= 10.0 + 1e-12);
+        assert!((b.soc() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_discharge_empties_and_reports_failure() {
+        let mut b = Battery::new(100.0, 0.1);
+        assert!(!b.discharge(50.0));
+        assert!(b.is_empty());
+        assert_eq!(b.soc(), 0.0);
+    }
+
+    #[test]
+    fn small_lithium_holds_kilojoules() {
+        let b = Battery::small_lithium();
+        assert!(b.capacity_j > 10_000.0);
+        assert!((b.soc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_capacity() {
+        let b = Battery::new(0.0, 1.0);
+        assert_eq!(b.soc(), 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! The §12.5 energy budget: average consumption versus solar harvest, and an
+//! hour-by-hour endurance simulation.
+
+use crate::battery::Battery;
+use crate::duty_cycle::DutyCycle;
+use crate::profile::PowerProfile;
+use crate::solar::{DiurnalProfile, SolarPanel};
+
+/// The complete energy budget of one reader.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBudget {
+    /// Board power profile.
+    pub profile: PowerProfile,
+    /// Active/sleep schedule.
+    pub duty_cycle: DutyCycle,
+    /// Solar panel.
+    pub panel: SolarPanel,
+}
+
+impl Default for EnergyBudget {
+    fn default() -> Self {
+        Self {
+            profile: PowerProfile::paper_measured(),
+            duty_cycle: DutyCycle::paper_default(),
+            panel: SolarPanel::paper_panel(),
+        }
+    }
+}
+
+/// Result of an endurance simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnduranceReport {
+    /// Hours the reader ran before the battery emptied (capped at the
+    /// simulated horizon).
+    pub hours_survived: f64,
+    /// `true` if the reader was still running at the end of the horizon.
+    pub survived_horizon: bool,
+    /// Battery state of charge at the end of the simulation.
+    pub final_soc: f64,
+}
+
+impl EnergyBudget {
+    /// Average board power (watts) under the configured duty cycle.
+    pub fn average_consumption_w(&self) -> f64 {
+        self.profile
+            .average_power_w(self.duty_cycle.active_fraction())
+    }
+
+    /// Ratio of peak solar harvest to average consumption — the "56×" of
+    /// §12.5.
+    pub fn harvest_margin(&self) -> f64 {
+        self.average_consumption_w()
+            .max(f64::MIN_POSITIVE)
+            .recip()
+            * self.panel.peak_output_w()
+    }
+
+    /// How long (hours) the energy harvested during `sun_hours` hours of full
+    /// sun can run the reader, ignoring battery losses — the "3 hours of sun
+    /// runs the device for a week" computation.
+    pub fn runtime_hours_from_sun(&self, sun_hours: f64) -> f64 {
+        let harvested = self.panel.energy_j(1.0, sun_hours);
+        harvested / (self.average_consumption_w() * 3600.0)
+    }
+
+    /// Simulates `horizon_hours` of operation hour-by-hour with the given
+    /// battery and daily irradiance profile, returning how long the reader
+    /// survived.
+    pub fn simulate_endurance(
+        &self,
+        mut battery: Battery,
+        weather: DiurnalProfile,
+        horizon_hours: usize,
+    ) -> EnduranceReport {
+        let consumption_per_hour_j = self.average_consumption_w() * 3600.0;
+        for hour in 0..horizon_hours {
+            let hour_of_day = hour % 24;
+            // Sun shines for `sun_hours` starting at 08:00.
+            let sunny = (hour_of_day >= 8) && ((hour_of_day - 8) as f64) < weather.sun_hours;
+            if sunny {
+                battery.charge(self.panel.energy_j(weather.cloudiness, 1.0));
+            }
+            if !battery.discharge(consumption_per_hour_j) {
+                return EnduranceReport {
+                    hours_survived: hour as f64,
+                    survived_horizon: false,
+                    final_soc: battery.soc(),
+                };
+            }
+        }
+        EnduranceReport {
+            hours_survived: horizon_hours as f64,
+            survived_horizon: true,
+            final_soc: battery.soc(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_consumption_is_about_nine_milliwatts() {
+        let b = EnergyBudget::default();
+        let avg = b.average_consumption_w();
+        assert!((avg - 0.009).abs() < 0.001, "got {avg} W");
+    }
+
+    #[test]
+    fn harvest_margin_is_about_56x() {
+        let b = EnergyBudget::default();
+        let margin = b.harvest_margin();
+        assert!((margin - 56.0).abs() < 6.0, "got {margin}x");
+    }
+
+    #[test]
+    fn three_hours_of_sun_runs_about_a_week() {
+        let b = EnergyBudget::default();
+        let hours = b.runtime_hours_from_sun(3.0);
+        let days = hours / 24.0;
+        assert!((5.0..9.0).contains(&days), "got {days} days");
+    }
+
+    #[test]
+    fn endurance_with_daily_sun_survives_a_month() {
+        let b = EnergyBudget::default();
+        let report = b.simulate_endurance(
+            Battery::small_lithium(),
+            DiurnalProfile::clear(4.0),
+            24 * 30,
+        );
+        assert!(report.survived_horizon);
+        assert!(report.final_soc > 0.5);
+    }
+
+    #[test]
+    fn endurance_without_sun_eventually_dies() {
+        let b = EnergyBudget::default();
+        let report = b.simulate_endurance(
+            Battery::new(5400.0, 1.0), // exactly the 3-hours-of-sun energy
+            DiurnalProfile {
+                sun_hours: 0.0,
+                cloudiness: 0.0,
+            },
+            24 * 30,
+        );
+        assert!(!report.survived_horizon);
+        // Should last roughly a week (the §12.5 claim).
+        let days = report.hours_survived / 24.0;
+        assert!((5.0..9.0).contains(&days), "got {days} days");
+    }
+
+    #[test]
+    fn always_active_reader_cannot_run_on_solar() {
+        let b = EnergyBudget {
+            duty_cycle: DutyCycle {
+                active_s: 1.0,
+                period_s: 1.0,
+            },
+            ..Default::default()
+        };
+        assert!(b.harvest_margin() < 1.0);
+        let report = b.simulate_endurance(
+            Battery::small_lithium(),
+            DiurnalProfile::clear(4.0),
+            24 * 7,
+        );
+        assert!(!report.survived_horizon);
+    }
+}

@@ -1,0 +1,103 @@
+//! Active/sleep duty cycling (§10).
+//!
+//! The reader wakes up, issues up to ~10 queries in a ≤10 ms active burst,
+//! then sleeps until the sleep timer fires. The duty cycle — active time per
+//! measurement period — sets the average power.
+
+/// Duration of one query cycle (query + turnaround + response + margin),
+/// seconds. Mirrors `caraoke_phy::timing::QUERY_PERIOD_S`; duplicated here so
+/// the power model stays dependency-free.
+pub const QUERY_PERIOD_S: f64 = 1e-3;
+
+/// A periodic active/sleep schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DutyCycle {
+    /// Duration of the active burst, seconds.
+    pub active_s: f64,
+    /// Measurement period (active + sleep), seconds.
+    pub period_s: f64,
+}
+
+impl Default for DutyCycle {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl DutyCycle {
+    /// The paper's example: a 10 ms active burst once per second.
+    pub fn paper_default() -> Self {
+        Self {
+            active_s: 0.010,
+            period_s: 1.0,
+        }
+    }
+
+    /// A schedule that issues `queries` back-to-back queries every
+    /// `period_s` seconds (each query cycle is ~1 ms).
+    pub fn for_queries(queries: usize, period_s: f64) -> Self {
+        Self {
+            active_s: queries as f64 * QUERY_PERIOD_S,
+            period_s,
+        }
+    }
+
+    /// Fraction of time spent active, in `[0, 1]`.
+    pub fn active_fraction(&self) -> f64 {
+        if self.period_s <= 0.0 {
+            return 1.0;
+        }
+        (self.active_s / self.period_s).clamp(0.0, 1.0)
+    }
+
+    /// Number of query opportunities per active burst (queries are ~1 ms).
+    pub fn queries_per_burst(&self) -> usize {
+        (self.active_s / QUERY_PERIOD_S).floor() as usize
+    }
+
+    /// Measurements per hour with this schedule.
+    pub fn measurements_per_hour(&self) -> f64 {
+        if self.period_s <= 0.0 {
+            return 0.0;
+        }
+        3600.0 / self.period_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_one_percent_duty() {
+        let d = DutyCycle::paper_default();
+        assert!((d.active_fraction() - 0.01).abs() < 1e-12);
+        assert_eq!(d.queries_per_burst(), 10);
+        assert!((d.measurements_per_hour() - 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn for_queries_builds_consistent_burst() {
+        let d = DutyCycle::for_queries(5, 2.0);
+        assert!((d.active_s - 0.005).abs() < 1e-12);
+        assert_eq!(d.queries_per_burst(), 5);
+        assert!((d.active_fraction() - 0.0025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_period_is_fully_active() {
+        let d = DutyCycle {
+            active_s: 0.1,
+            period_s: 0.0,
+        };
+        assert_eq!(d.active_fraction(), 1.0);
+        assert_eq!(d.measurements_per_hour(), 0.0);
+    }
+
+    #[test]
+    fn longer_sleep_reduces_duty() {
+        let fast = DutyCycle::for_queries(10, 1.0);
+        let slow = DutyCycle::for_queries(10, 10.0);
+        assert!(slow.active_fraction() < fast.active_fraction());
+    }
+}

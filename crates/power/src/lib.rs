@@ -1,0 +1,33 @@
+//! # caraoke-power
+//!
+//! Power, duty-cycling, solar-harvesting and battery model of the Caraoke
+//! reader PCB (§10 and §12.5 of the paper).
+//!
+//! The paper's measured numbers, reproduced as the defaults here:
+//!
+//! * active mode: 900 mW (query generator + receiver + micro-controller)
+//! * sleep mode: 69 µW (master clock + sleep timer only)
+//! * solar panel: 500 mW in the sun (6 cm × 7.5 cm panel)
+//! * one measurement per second with ≤10 ms of active time ⇒ ≈9 mW average,
+//!   about 56× below the solar budget
+//! * the energy harvested during 3 h of sun can run the reader for about a
+//!   week
+//!
+//! The model is deliberately arithmetic — the paper's own result is an
+//! arithmetic consequence of duty cycling — but it is parameterised so the
+//! benches can sweep duty cycles, panel sizes and weather.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod budget;
+pub mod duty_cycle;
+pub mod profile;
+pub mod solar;
+
+pub use battery::Battery;
+pub use budget::{EnduranceReport, EnergyBudget};
+pub use duty_cycle::DutyCycle;
+pub use profile::PowerProfile;
+pub use solar::SolarPanel;

@@ -1,0 +1,91 @@
+//! Per-mode power consumption of the reader board.
+
+/// Power consumption of the Caraoke reader in its two operating modes, plus
+/// the (separately duty-cycled) modem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerProfile {
+    /// Power drawn in active mode (query + receive + process), watts.
+    pub active_w: f64,
+    /// Power drawn in sleep mode (clock + sleep timer), watts.
+    pub sleep_w: f64,
+    /// Power drawn by the LTE modem while transmitting, watts. Footnote 15:
+    /// 1–2 W while active, duty-cycled down to mW-level averages.
+    pub modem_active_w: f64,
+}
+
+impl Default for PowerProfile {
+    fn default() -> Self {
+        Self::paper_measured()
+    }
+}
+
+impl PowerProfile {
+    /// The values measured from the prototype PCB in §12.5.
+    pub fn paper_measured() -> Self {
+        Self {
+            active_w: 0.900,
+            sleep_w: 69e-6,
+            modem_active_w: 1.5,
+        }
+    }
+
+    /// Average board power (excluding modem) for a given fraction of time
+    /// spent in active mode.
+    pub fn average_power_w(&self, active_fraction: f64) -> f64 {
+        let f = active_fraction.clamp(0.0, 1.0);
+        self.active_w * f + self.sleep_w * (1.0 - f)
+    }
+
+    /// Average modem power when the modem is on for `on_seconds` out of every
+    /// `period_seconds`.
+    pub fn average_modem_power_w(&self, on_seconds: f64, period_seconds: f64) -> f64 {
+        if period_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.modem_active_w * (on_seconds / period_seconds).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_are_reproduced() {
+        let p = PowerProfile::paper_measured();
+        assert!((p.active_w - 0.9).abs() < 1e-12);
+        assert!((p.sleep_w - 69e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn always_active_equals_active_power() {
+        let p = PowerProfile::default();
+        assert!((p.average_power_w(1.0) - p.active_w).abs() < 1e-12);
+        assert!((p.average_power_w(0.0) - p.sleep_w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ten_ms_per_second_is_about_nine_milliwatts() {
+        // §12.5: one measurement per second with a 10 ms active burst gives
+        // ~9 mW average.
+        let p = PowerProfile::paper_measured();
+        let avg = p.average_power_w(0.010);
+        assert!((avg - 0.009).abs() < 0.0005, "got {avg} W");
+    }
+
+    #[test]
+    fn active_fraction_is_clamped() {
+        let p = PowerProfile::default();
+        assert_eq!(p.average_power_w(2.0), p.active_w);
+        assert_eq!(p.average_power_w(-1.0), p.sleep_w);
+    }
+
+    #[test]
+    fn modem_duty_cycling_brings_average_to_milliwatts() {
+        // Footnote 15: tens of ms of modem activity per minute -> mW-level.
+        let p = PowerProfile::paper_measured();
+        let avg = p.average_modem_power_w(0.040, 60.0);
+        assert!(avg < 0.002, "got {avg} W");
+        assert_eq!(p.average_modem_power_w(1.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Solar harvesting model (§10, §12.5).
+//!
+//! The prototype uses a 6 cm × 7.5 cm monocrystalline panel delivering about
+//! 500 mW in full sun (solar cells harvest ~10 mW/cm²). The model exposes the
+//! panel output as a function of an irradiance factor (1.0 = full sun,
+//! ~0.1–0.3 = overcast, 0 = night) and provides a simple diurnal profile for
+//! endurance simulations.
+
+/// A solar panel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolarPanel {
+    /// Panel area in cm².
+    pub area_cm2: f64,
+    /// Harvested power per cm² in full sun, watts (≈10 mW/cm² per the paper's
+    /// citations, derated for regulator efficiency below).
+    pub full_sun_w_per_cm2: f64,
+    /// Efficiency of the power-management circuit (regulator + charger).
+    pub conversion_efficiency: f64,
+}
+
+impl Default for SolarPanel {
+    fn default() -> Self {
+        Self::paper_panel()
+    }
+}
+
+impl SolarPanel {
+    /// The paper's 6 cm × 7.5 cm panel delivering ~500 mW in the sun.
+    pub fn paper_panel() -> Self {
+        Self {
+            area_cm2: 6.0 * 7.5,
+            full_sun_w_per_cm2: 0.0123,
+            conversion_efficiency: 0.9,
+        }
+    }
+
+    /// Output power at a given irradiance factor (1.0 = full sun).
+    pub fn output_w(&self, irradiance: f64) -> f64 {
+        self.area_cm2
+            * self.full_sun_w_per_cm2
+            * self.conversion_efficiency
+            * irradiance.clamp(0.0, 1.0)
+    }
+
+    /// Peak output in full sun.
+    pub fn peak_output_w(&self) -> f64 {
+        self.output_w(1.0)
+    }
+
+    /// Energy harvested (joules) over `hours` hours at a constant irradiance.
+    pub fn energy_j(&self, irradiance: f64, hours: f64) -> f64 {
+        self.output_w(irradiance) * hours * 3600.0
+    }
+}
+
+/// A simple diurnal irradiance profile: `sun_hours` of full sun per day, the
+/// rest darkness, optionally derated by a cloudiness factor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalProfile {
+    /// Hours of usable sun per day.
+    pub sun_hours: f64,
+    /// Multiplicative derating during the sunny hours (1.0 = clear sky).
+    pub cloudiness: f64,
+}
+
+impl DiurnalProfile {
+    /// Clear-sky profile with the given hours of sun.
+    pub fn clear(sun_hours: f64) -> Self {
+        Self {
+            sun_hours,
+            cloudiness: 1.0,
+        }
+    }
+
+    /// Energy (joules) harvested per day by a panel under this profile.
+    pub fn daily_energy_j(&self, panel: &SolarPanel) -> f64 {
+        panel.energy_j(self.cloudiness, self.sun_hours)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_panel_delivers_about_half_a_watt() {
+        let p = SolarPanel::paper_panel();
+        assert!((p.peak_output_w() - 0.5).abs() < 0.01, "got {}", p.peak_output_w());
+    }
+
+    #[test]
+    fn output_scales_with_irradiance_and_clamps() {
+        let p = SolarPanel::paper_panel();
+        assert!((p.output_w(0.5) - p.peak_output_w() / 2.0).abs() < 1e-12);
+        assert_eq!(p.output_w(-1.0), 0.0);
+        assert_eq!(p.output_w(2.0), p.peak_output_w());
+    }
+
+    #[test]
+    fn three_hours_of_sun_harvests_kilojoules() {
+        // 0.5 W x 3 h = 5.4 kJ — the figure behind "3 hours of solar can run
+        // the device for a week".
+        let p = SolarPanel::paper_panel();
+        let e = p.energy_j(1.0, 3.0);
+        assert!((e - 5400.0).abs() < 150.0, "got {e} J");
+    }
+
+    #[test]
+    fn diurnal_profile_accumulates_daily_energy() {
+        let p = SolarPanel::paper_panel();
+        let clear = DiurnalProfile::clear(5.0);
+        let cloudy = DiurnalProfile {
+            sun_hours: 5.0,
+            cloudiness: 0.2,
+        };
+        assert!(clear.daily_energy_j(&p) > cloudy.daily_energy_j(&p) * 4.9);
+    }
+}

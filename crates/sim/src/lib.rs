@@ -1,0 +1,33 @@
+//! # caraoke-sim
+//!
+//! The evaluation testbed of the Caraoke reproduction: streets, parking
+//! rows, traffic lights, Poisson traffic, moving vehicles carrying
+//! transponders, and reader poles — everything §11–§12 of the paper obtained
+//! by driving instrumented cars around campus, recreated as a seeded
+//! simulator.
+//!
+//! * [`street`] — street segments, lanes and parking spots (streets A–D).
+//! * [`traffic`] — traffic-light cycles, Poisson arrivals and the
+//!   intersection queue model behind Fig. 12.
+//! * [`vehicle`] — cars with transponders and straight-line mobility.
+//! * [`deployment`] — reader poles and their antenna arrays.
+//! * [`scenario`] — the experiment runners that regenerate the paper's
+//!   figures: counting (Fig. 11), parking localization (Fig. 13), speed
+//!   (Fig. 15) and decoding time (Fig. 16).
+//! * [`multireader`] — the multi-reader MAC simulation of §9.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deployment;
+pub mod multireader;
+pub mod scenario;
+pub mod street;
+pub mod traffic;
+pub mod vehicle;
+
+pub use deployment::Pole;
+pub use scenario::{CountingScenario, DecodingScenario, ParkingScenario, SpeedScenario};
+pub use street::{ParkingSpot, Street};
+pub use traffic::{IntersectionSim, LightPhase, TrafficLight};
+pub use vehicle::Vehicle;

@@ -1,0 +1,350 @@
+//! Experiment runners that regenerate the paper's evaluation figures.
+//!
+//! Each scenario couples a workload generator (tags, positions, motion) with
+//! the reader pipeline and returns the measurements the corresponding figure
+//! plots. The benches in `caraoke-bench` and the `experiments` binary are
+//! thin wrappers over these runners.
+
+use crate::deployment::Pole;
+use crate::street::Street;
+use crate::vehicle::{Vehicle, WINDSHIELD_HEIGHT_M};
+use caraoke::localization::AoaEstimate;
+use caraoke::speed::{SpeedObservation, SpeedPipeline};
+use caraoke::CaraokeError;
+use caraoke_dsp::Summary;
+use caraoke_geom::units::mps_to_mph;
+use caraoke_geom::Vec3;
+use caraoke_phy::antenna::ArrayGeometry;
+use caraoke_phy::channel::PropagationModel;
+use caraoke_phy::{CfoModel, Transponder};
+use rand::{Rng, RngExt};
+
+/// Signal-level counting experiment (Fig. 11 for moderate tag counts).
+#[derive(Debug, Clone)]
+pub struct CountingScenario {
+    /// Number of colliding transponders.
+    pub n_tags: usize,
+    /// CFO model for the tags.
+    pub cfo_model: CfoModel,
+    /// Street the tags are scattered along.
+    pub street: Street,
+}
+
+impl CountingScenario {
+    /// Creates a counting scenario with `n_tags` tags on street C.
+    pub fn new(n_tags: usize, cfo_model: CfoModel) -> Self {
+        Self {
+            n_tags,
+            cfo_model,
+            street: Street::new("Street C", 60.0, 2),
+        }
+    }
+
+    /// Scatters tags over the street within reader range.
+    fn scatter_tags<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Transponder> {
+        (0..self.n_tags)
+            .map(|i| {
+                let x = rng.random_range(-25.0..25.0);
+                let lane = rng.random_range(0..self.street.lanes_per_direction * 2);
+                let y = self.street.lane_center_y(lane % self.street.lanes_per_direction)
+                    * if lane >= self.street.lanes_per_direction { -1.0 } else { 1.0 };
+                Transponder::with_id(
+                    i as u64 + 1,
+                    Vec3::new(x, y, WINDSHIELD_HEIGHT_M),
+                    self.cfo_model,
+                    rng,
+                )
+            })
+            .collect()
+    }
+
+    /// Runs `runs` independent collisions and returns the average counting
+    /// accuracy in percent (the Fig. 11 metric), plus the summary of absolute
+    /// errors.
+    pub fn run<R: Rng + ?Sized>(&self, runs: usize, rng: &mut R) -> (f64, Summary) {
+        let pole = Pole::new(
+            "counting",
+            0.0,
+            -(self.street.width() / 2.0 + 1.0),
+            Street::pole_height(),
+            ArrayGeometry::default_pair(),
+        );
+        let model = PropagationModel::line_of_sight();
+        let mut accuracies = Vec::with_capacity(runs);
+        let mut abs_errors = Vec::with_capacity(runs);
+        for _ in 0..runs {
+            let tags = self.scatter_tags(rng);
+            let report = pole.query(&tags, &model, rng);
+            let err = (report.count.count as f64 - self.n_tags as f64).abs();
+            abs_errors.push(err);
+            accuracies.push(100.0 * (1.0 - err / self.n_tags.max(1) as f64));
+        }
+        (caraoke_dsp::mean(&accuracies), Summary::of(&abs_errors))
+    }
+}
+
+/// Parking-localization experiment (Fig. 13): AoA error per parking spot.
+#[derive(Debug, Clone)]
+pub struct ParkingScenario {
+    /// Number of parking spots in the row between poles (6 in the paper).
+    pub spots: usize,
+    /// Number of other parked cars whose transponders collide with the
+    /// target's.
+    pub colliders: usize,
+    /// Antenna geometry on the pole (the paper uses the 60°-tilted triangle).
+    pub geometry: ArrayGeometry,
+}
+
+impl Default for ParkingScenario {
+    fn default() -> Self {
+        Self {
+            spots: 6,
+            colliders: 3,
+            geometry: ArrayGeometry::default_triangle(),
+        }
+    }
+}
+
+impl ParkingScenario {
+    /// Runs `runs_per_spot` runs for every spot and returns, per spot, the
+    /// summary of absolute AoA errors in degrees.
+    pub fn run<R: Rng + ?Sized>(&self, runs_per_spot: usize, rng: &mut R) -> Vec<(usize, Summary)> {
+        let street = Street::new("Street A", 80.0, 1).with_parking(true, false);
+        let row = street.parking_row(2.0, self.spots);
+        let pole = Pole::new(
+            "parking",
+            0.0,
+            -(street.width() / 2.0 + 0.5),
+            Street::pole_height(),
+            self.geometry,
+        );
+        let model = PropagationModel::line_of_sight();
+        let mut results = Vec::with_capacity(self.spots);
+        for spot in &row {
+            let mut errors = Vec::with_capacity(runs_per_spot);
+            for _ in 0..runs_per_spot {
+                // Target car in the spot plus colliders in other spots /
+                // driving by.
+                let mut tags = vec![Transponder::with_id(
+                    1,
+                    spot.center + Vec3::new(0.0, 0.0, WINDSHIELD_HEIGHT_M),
+                    CfoModel::Empirical,
+                    rng,
+                )];
+                for c in 0..self.colliders {
+                    let x = rng.random_range(-30.0..40.0);
+                    let y = rng.random_range(-4.0..4.0);
+                    tags.push(Transponder::with_id(
+                        100 + c as u64,
+                        Vec3::new(x, y, WINDSHIELD_HEIGHT_M),
+                        CfoModel::Empirical,
+                        rng,
+                    ));
+                }
+                let report = pole.query(&tags, &model, rng);
+                // Find the estimate matching the target's CFO.
+                let target_cfo = tags[0].cfo();
+                let est: Option<&AoaEstimate> = report.aoa.iter().min_by(|a, b| {
+                    (a.cfo_hz - target_cfo)
+                        .abs()
+                        .partial_cmp(&(b.cfo_hz - target_cfo).abs())
+                        .unwrap()
+                });
+                if let Some(est) = est {
+                    if (est.cfo_hz - target_cfo).abs() < 3.0 * report.spectrum.bin_resolution {
+                        let truth = pole
+                            .reader
+                            .array()
+                            .true_angle(est.pair.0, est.pair.1, tags[0].position);
+                        errors.push((est.angle_rad - truth).to_degrees().abs());
+                    }
+                }
+            }
+            results.push((spot.index, Summary::of(&errors)));
+        }
+        results
+    }
+}
+
+/// Speed-detection experiment (Fig. 15).
+#[derive(Debug, Clone, Copy)]
+pub struct SpeedScenario {
+    /// Ground-truth car speed, mph.
+    pub speed_mph: f64,
+    /// Separation between the two measurement locations, metres (200 ft in
+    /// the paper's street experiments).
+    pub pole_separation_m: f64,
+    /// Worst-case clock error between the two poles (NTP over LTE), seconds.
+    pub ntp_error_s: f64,
+}
+
+impl SpeedScenario {
+    /// Creates a speed scenario with the paper's setup (200 ft separation,
+    /// tens of ms of NTP error).
+    pub fn new(speed_mph: f64) -> Self {
+        Self {
+            speed_mph,
+            pole_separation_m: caraoke_geom::feet_to_meters(200.0),
+            ntp_error_s: 0.03,
+        }
+    }
+
+    /// Runs one pass of the car and returns the estimated speed in mph.
+    pub fn run<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<f64, CaraokeError> {
+        let height = Street::pole_height();
+        let sep = self.pole_separation_m;
+        let car = Vehicle::driving(
+            7,
+            Vec3::new(0.0, -1.8, 0.0),
+            self.speed_mph,
+            CfoModel::Empirical,
+            rng,
+        );
+        let model = PropagationModel::line_of_sight();
+        // Two pole pairs, one around each measurement location.
+        let site = |x: f64| {
+            (
+                Pole::new("a", x, -6.0, height, ArrayGeometry::default_pair()),
+                Pole::new("b", x + 5.0, 6.0, height, ArrayGeometry::default_pair()),
+            )
+        };
+        let (a1, b1) = site(0.0);
+        let (a2, b2) = site(sep);
+        let t1 = 0.0;
+        let t2 = sep / car.speed_mps();
+        let observe = |pole: &Pole, t: f64, rng: &mut R| -> Result<AoaEstimate, CaraokeError> {
+            let tags = vec![car.transponder_at(t)];
+            let report = pole
+                .reader
+                .process_query(&pole.receive(&tags, &model, rng))?;
+            report
+                .aoa
+                .into_iter()
+                .next()
+                .ok_or(CaraokeError::NoPeak)
+        };
+        let region = caraoke_geom::localize::RoadRegion {
+            x_min: -30.0,
+            x_max: sep + 30.0,
+            y_min: -5.0,
+            y_max: 5.0,
+            z: 0.0,
+        };
+        let pipeline = SpeedPipeline::new(region);
+        let first = SpeedObservation {
+            from_a: observe(&a1, t1, rng)?,
+            from_b: observe(&b1, t1, rng)?,
+            timestamp: t1,
+        };
+        let ntp = rng.random_range(-self.ntp_error_s..=self.ntp_error_s);
+        let second = SpeedObservation {
+            from_a: observe(&a2, t2, rng)?,
+            from_b: observe(&b2, t2, rng)?,
+            timestamp: t2 + ntp,
+        };
+        let est = pipeline.speed(&first, &second).ok_or(CaraokeError::NoFix)?;
+        Ok(mps_to_mph(est.speed_mps))
+    }
+}
+
+/// Identification-time experiment (Fig. 16).
+#[derive(Debug, Clone, Copy)]
+pub struct DecodingScenario {
+    /// Number of colliding transponders.
+    pub n_tags: usize,
+    /// Maximum queries the reader may spend.
+    pub max_queries: usize,
+}
+
+impl DecodingScenario {
+    /// Creates a decoding scenario with `n_tags` colliders.
+    pub fn new(n_tags: usize) -> Self {
+        Self {
+            n_tags,
+            max_queries: 64,
+        }
+    }
+
+    /// Runs the scenario and returns the identification time (ms) for one
+    /// target tag, or an error if it could not be decoded within the budget.
+    pub fn run<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<f64, CaraokeError> {
+        let pole = Pole::new(
+            "decode",
+            0.0,
+            -5.0,
+            Street::pole_height(),
+            ArrayGeometry::default_pair(),
+        );
+        let model = PropagationModel::line_of_sight();
+        let tags: Vec<Transponder> = (0..self.n_tags)
+            .map(|i| {
+                Transponder::with_id(
+                    500 + i as u64,
+                    Vec3::new(
+                        rng.random_range(-15.0..15.0),
+                        rng.random_range(-3.5..3.5),
+                        WINDSHIELD_HEIGHT_M,
+                    ),
+                    CfoModel::Empirical,
+                    rng,
+                )
+            })
+            .collect();
+        let queries: Vec<_> = (0..self.max_queries)
+            .map(|_| pole.receive(&tags, &model, rng))
+            .collect();
+        let outcome = pole.reader.decode(&queries, tags[0].cfo())?;
+        Ok(outcome.identification_time_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counting_scenario_is_accurate_for_few_tags() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let scenario = CountingScenario::new(5, CfoModel::Empirical);
+        let (accuracy, errors) = scenario.run(10, &mut rng);
+        assert!(accuracy > 90.0, "accuracy {accuracy}");
+        assert!(errors.mean <= 0.6, "mean abs error {}", errors.mean);
+    }
+
+    #[test]
+    fn parking_scenario_errors_are_a_few_degrees() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let scenario = ParkingScenario {
+            spots: 3,
+            colliders: 2,
+            ..Default::default()
+        };
+        let results = scenario.run(3, &mut rng);
+        assert_eq!(results.len(), 3);
+        for (spot, summary) in &results {
+            assert!(*spot >= 1 && *spot <= 3);
+            assert!(summary.count > 0, "spot {spot} never matched its peak");
+            assert!(summary.mean < 10.0, "spot {spot} error {}", summary.mean);
+        }
+    }
+
+    #[test]
+    fn speed_scenario_is_within_paper_accuracy() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let scenario = SpeedScenario::new(30.0);
+        let est = scenario.run(&mut rng).expect("speed estimate");
+        let rel_err = (est - 30.0).abs() / 30.0;
+        assert!(rel_err < 0.12, "estimated {est} mph (rel err {rel_err})");
+    }
+
+    #[test]
+    fn decoding_scenario_time_grows_with_tags() {
+        let mut rng = StdRng::seed_from_u64(74);
+        let t1 = DecodingScenario::new(1).run(&mut rng).expect("decode 1");
+        let t5 = DecodingScenario::new(5).run(&mut rng).expect("decode 5");
+        assert!(t1 <= t5, "1 tag took {t1} ms, 5 tags took {t5} ms");
+        assert!(t1 >= 1.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Streets, lanes and parking spots.
+//!
+//! The paper's experiments run on four campus streets (A–D): all two-way,
+//! most with street parking on one or both sides (§11). The geometry here is
+//! deliberately simple — straight segments along the `x` axis with lanes and
+//! parking strips offset in `y` — because that is all the experiments need.
+
+use caraoke_geom::units::feet_to_meters;
+use caraoke_geom::Vec3;
+
+/// Standard US lane width used in the paper's error analysis (12 ft).
+pub const LANE_WIDTH_M: f64 = 3.6576;
+
+/// Length of a street parking spot (about 20 ft).
+pub const PARKING_SPOT_LENGTH_M: f64 = 6.1;
+
+/// A parking spot along a street.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParkingSpot {
+    /// Index of the spot along the row (1 = closest to the reference pole,
+    /// matching the x-axis of Fig. 13).
+    pub index: usize,
+    /// Centre of the spot on the road plane.
+    pub center: Vec3,
+}
+
+/// A straight two-way street segment along the `x` axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Street {
+    /// Human-readable name ("Street A", ...).
+    pub name: String,
+    /// Length of the segment, metres.
+    pub length: f64,
+    /// Number of lanes per direction.
+    pub lanes_per_direction: u32,
+    /// Whether the street has parking on the +y side.
+    pub parking_far_side: bool,
+    /// Whether the street has parking on the −y side.
+    pub parking_near_side: bool,
+}
+
+impl Street {
+    /// Creates a street.
+    pub fn new(name: &str, length: f64, lanes_per_direction: u32) -> Self {
+        Self {
+            name: name.to_string(),
+            length,
+            lanes_per_direction,
+            parking_far_side: false,
+            parking_near_side: false,
+        }
+    }
+
+    /// Enables parking on one or both sides.
+    pub fn with_parking(mut self, near: bool, far: bool) -> Self {
+        self.parking_near_side = near;
+        self.parking_far_side = far;
+        self
+    }
+
+    /// Total paved width (travel lanes plus parking strips).
+    pub fn width(&self) -> f64 {
+        let travel = 2.0 * self.lanes_per_direction as f64 * LANE_WIDTH_M;
+        let parking = (self.parking_near_side as u32 + self.parking_far_side as u32) as f64
+            * LANE_WIDTH_M;
+        travel + parking
+    }
+
+    /// Centre-line `y` offset of travel lane `lane` (0-based) in the +x
+    /// direction of travel (lanes sit on the −y half by right-hand traffic).
+    pub fn lane_center_y(&self, lane: u32) -> f64 {
+        -(lane as f64 + 0.5) * LANE_WIDTH_M
+    }
+
+    /// The road region (for localization) spanned by this street, centred on
+    /// the origin.
+    pub fn region(&self) -> caraoke_geom::localize::RoadRegion {
+        caraoke_geom::localize::RoadRegion {
+            x_min: -self.length / 2.0,
+            x_max: self.length / 2.0,
+            y_min: -self.width() / 2.0,
+            y_max: self.width() / 2.0,
+            z: 0.0,
+        }
+    }
+
+    /// A row of `count` parking spots on the near (−y) side starting at
+    /// `start_x`, as used in the Fig. 13 experiment (6 spots between poles).
+    pub fn parking_row(&self, start_x: f64, count: usize) -> Vec<ParkingSpot> {
+        let y = -(self.lanes_per_direction as f64 * LANE_WIDTH_M + LANE_WIDTH_M / 2.0);
+        (0..count)
+            .map(|i| ParkingSpot {
+                index: i + 1,
+                center: Vec3::new(start_x + (i as f64 + 0.5) * PARKING_SPOT_LENGTH_M, y, 0.0),
+            })
+            .collect()
+    }
+
+    /// The four campus streets of Fig. 10. Street C is the busiest (a major
+    /// city street); A, B and D have parking on one or both sides.
+    pub fn campus() -> Vec<Street> {
+        vec![
+            Street::new("Street A", 200.0, 1).with_parking(true, false),
+            Street::new("Street B", 150.0, 1).with_parking(true, true),
+            Street::new("Street C", 400.0, 2),
+            Street::new("Street D", 180.0, 1).with_parking(true, false),
+        ]
+    }
+
+    /// Height of the experiment poles (12.5 ft, §11).
+    pub fn pole_height() -> f64 {
+        feet_to_meters(12.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campus_has_four_streets_with_expected_parking() {
+        let streets = Street::campus();
+        assert_eq!(streets.len(), 4);
+        assert!(streets[0].parking_near_side);
+        assert!(streets[1].parking_near_side && streets[1].parking_far_side);
+        assert!(!streets[2].parking_near_side && !streets[2].parking_far_side);
+        assert_eq!(streets[2].lanes_per_direction, 2);
+    }
+
+    #[test]
+    fn width_accounts_for_lanes_and_parking() {
+        let s = Street::new("test", 100.0, 2).with_parking(true, true);
+        assert!((s.width() - (4.0 * LANE_WIDTH_M + 2.0 * LANE_WIDTH_M)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lane_centers_are_inside_the_road() {
+        let s = Street::new("test", 100.0, 2);
+        let region = s.region();
+        for lane in 0..2 {
+            let y = s.lane_center_y(lane);
+            assert!(y > region.y_min && y < region.y_max);
+        }
+    }
+
+    #[test]
+    fn parking_row_spots_are_ordered_and_spaced() {
+        let s = Street::new("A", 200.0, 1).with_parking(true, false);
+        let row = s.parking_row(0.0, 6);
+        assert_eq!(row.len(), 6);
+        for (i, spot) in row.iter().enumerate() {
+            assert_eq!(spot.index, i + 1);
+        }
+        let spacing = row[1].center.x - row[0].center.x;
+        assert!((spacing - PARKING_SPOT_LENGTH_M).abs() < 1e-9);
+        // Parked cars sit outside the travel lanes.
+        assert!(row[0].center.y < s.lane_center_y(0));
+    }
+
+    #[test]
+    fn pole_height_matches_paper() {
+        assert!((Street::pole_height() - 3.81).abs() < 0.01);
+    }
+}

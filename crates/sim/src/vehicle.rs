@@ -1,0 +1,114 @@
+//! Vehicles carrying transponders.
+
+use caraoke_geom::units::mph_to_mps;
+use caraoke_geom::Vec3;
+use caraoke_phy::{CfoModel, Transponder};
+use rand::Rng;
+
+/// Height of a windshield-mounted transponder above the road, metres.
+pub const WINDSHIELD_HEIGHT_M: f64 = 1.2;
+
+/// A car with an e-toll transponder and straight-line motion along the road.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vehicle {
+    /// The transponder on the windshield.
+    pub transponder: Transponder,
+    /// Position of the car (road level) at `t = 0`.
+    pub start: Vec3,
+    /// Velocity vector, m/s.
+    pub velocity: Vec3,
+}
+
+impl Vehicle {
+    /// Creates a parked vehicle at `position` with a random transponder.
+    pub fn parked<R: Rng + ?Sized>(
+        id: u64,
+        position: Vec3,
+        cfo_model: CfoModel,
+        rng: &mut R,
+    ) -> Self {
+        let tag_pos = position + Vec3::new(0.0, 0.0, WINDSHIELD_HEIGHT_M);
+        Self {
+            transponder: Transponder::with_id(id, tag_pos, cfo_model, rng),
+            start: position,
+            velocity: Vec3::ZERO,
+        }
+    }
+
+    /// Creates a vehicle driving in the +x direction at `speed_mph`, starting
+    /// from `start` (road level) at `t = 0`.
+    pub fn driving<R: Rng + ?Sized>(
+        id: u64,
+        start: Vec3,
+        speed_mph: f64,
+        cfo_model: CfoModel,
+        rng: &mut R,
+    ) -> Self {
+        let tag_pos = start + Vec3::new(0.0, 0.0, WINDSHIELD_HEIGHT_M);
+        Self {
+            transponder: Transponder::with_id(id, tag_pos, cfo_model, rng),
+            start,
+            velocity: Vec3::new(mph_to_mps(speed_mph), 0.0, 0.0),
+        }
+    }
+
+    /// Car (road-level) position at time `t` seconds.
+    pub fn position_at(&self, t: f64) -> Vec3 {
+        self.start + self.velocity * t
+    }
+
+    /// Transponder position at time `t` seconds.
+    pub fn transponder_position_at(&self, t: f64) -> Vec3 {
+        self.position_at(t) + Vec3::new(0.0, 0.0, WINDSHIELD_HEIGHT_M)
+    }
+
+    /// Returns a copy of the transponder moved to its position at time `t`
+    /// (what a reader would actually hear at that instant).
+    pub fn transponder_at(&self, t: f64) -> Transponder {
+        let mut tag = self.transponder.clone();
+        tag.set_position(self.transponder_position_at(t));
+        tag
+    }
+
+    /// Ground-truth speed, m/s.
+    pub fn speed_mps(&self) -> f64 {
+        self.velocity.norm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parked_vehicle_does_not_move() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = Vehicle::parked(1, Vec3::new(5.0, -3.0, 0.0), CfoModel::Uniform, &mut rng);
+        assert_eq!(v.position_at(0.0), v.position_at(100.0));
+        assert_eq!(v.speed_mps(), 0.0);
+        assert!((v.transponder_position_at(0.0).z - WINDSHIELD_HEIGHT_M).abs() < 1e-12);
+    }
+
+    #[test]
+    fn driving_vehicle_advances_along_x() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = Vehicle::driving(2, Vec3::ZERO, 30.0, CfoModel::Uniform, &mut rng);
+        let p = v.position_at(10.0);
+        assert!((p.x - mph_to_mps(30.0) * 10.0).abs() < 1e-9);
+        assert_eq!(p.y, 0.0);
+        assert!((v.speed_mps() - mph_to_mps(30.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transponder_at_reflects_motion() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = Vehicle::driving(3, Vec3::ZERO, 20.0, CfoModel::Uniform, &mut rng);
+        let t0 = v.transponder_at(0.0);
+        let t5 = v.transponder_at(5.0);
+        assert!(t5.position.x > t0.position.x);
+        assert_eq!(t0.id(), t5.id());
+        assert_eq!(t0.carrier_hz, t5.carrier_hz);
+    }
+}

@@ -1,0 +1,61 @@
+//! Decoding transponder ids from collisions (§8 / Fig. 16): the reader keeps
+//! issuing queries, compensates the target's channel and CFO in every
+//! received collision, and averages until the checksum passes — then repeats
+//! for every other tag using the *same* recorded collisions.
+//!
+//! Run with: `cargo run --example decode_ids`
+
+use caraoke::{CaraokeReader, ReaderConfig};
+use caraoke_geom::Vec3;
+use caraoke_phy::antenna::{AntennaArray, ArrayGeometry};
+use caraoke_phy::channel::PropagationModel;
+use caraoke_phy::{synthesize_collision, CfoModel, Transponder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(44);
+    let array = AntennaArray::from_geometry(
+        Vec3::new(0.0, -5.0, 3.8),
+        Vec3::new(0.0, 1.0, 0.0),
+        ArrayGeometry::default_pair(),
+    );
+    let reader = CaraokeReader::new(ReaderConfig::default(), array).expect("valid config");
+    let model = PropagationModel::line_of_sight();
+
+    for n_tags in [2usize, 5] {
+        let tags: Vec<Transponder> = (0..n_tags)
+            .map(|i| {
+                Transponder::with_id(
+                    0xE2_0000 + i as u64,
+                    Vec3::new(4.0 + 3.0 * i as f64, (i % 2) as f64 * 3.0 - 1.5, 1.2),
+                    CfoModel::Empirical,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let queries: Vec<_> = (0..48)
+            .map(|_| {
+                synthesize_collision(&tags, reader.array(), &model, &reader.config().signal, &mut rng)
+            })
+            .collect();
+
+        println!("--- {n_tags} colliding transponders ---");
+        let mut slowest = 0.0_f64;
+        for report in reader.decode_everyone(&queries).expect("decode") {
+            match report.outcome {
+                Ok(out) => {
+                    slowest = slowest.max(out.identification_time_ms);
+                    println!(
+                        "  {}  decoded after {:>2} queries ({:>5.1} ms)",
+                        out.packet.id, out.queries_used, out.identification_time_ms
+                    );
+                }
+                Err(e) => println!("  tag near {:.0} kHz: {e}", report.cfo_hz / 1e3),
+            }
+        }
+        println!(
+            "  identifying ALL {n_tags} tags costs {slowest:.1} ms of air time — the collisions are reused\n"
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Smart street parking (the Fig. 13 application): a reader on a street-lamp
+//! localizes parked cars into spots by the angle of arrival of their e-toll
+//! transponders, despite other transponders colliding, so the city can detect
+//! occupied/available spots and bill for parking automatically.
+//!
+//! Run with: `cargo run --example smart_parking`
+
+use caraoke_sim::ParkingScenario;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let scenario = ParkingScenario::default(); // 6 spots, 3 colliding tags, 60°-tilted triangle array
+
+    println!("Localizing a parked car in each of 6 spots (5 runs per spot)...\n");
+    let results = scenario.run(5, &mut rng);
+    println!("spot | mean AoA error (deg) | std dev (deg)");
+    println!("-----+----------------------+--------------");
+    for (spot, summary) in &results {
+        println!(
+            "  {spot}  |        {:>5.1}         |     {:>5.1}",
+            summary.mean, summary.std_dev
+        );
+    }
+    let overall: f64 = results.iter().map(|(_, s)| s.mean).sum::<f64>() / results.len() as f64;
+    println!("\naverage error across spots: {overall:.1} degrees (paper: ~4 degrees)");
+    println!("A few degrees is enough to tell adjacent parking spots apart from a lamp pole.");
+}

@@ -1,0 +1,37 @@
+//! Speed enforcement (the Fig. 15 application): two reader poles localize a
+//! passing car at two points along the street; distance over time gives the
+//! speed, and — unlike a police radar — the measurement is tied to the car's
+//! decoded transponder id, so the ticket cannot go to the wrong car.
+//!
+//! Run with: `cargo run --example speed_enforcement`
+
+use caraoke_baseline::radar::RadarDeployment;
+use caraoke_sim::SpeedScenario;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(33);
+    println!("Caraoke speed detection (two poles, 200 ft apart, NTP-synchronised):\n");
+    println!("true speed | detected | error");
+    println!("-----------+----------+------");
+    for mph in [10.0, 20.0, 30.0, 40.0, 50.0] {
+        match SpeedScenario::new(mph).run(&mut rng) {
+            Ok(est) => println!(
+                "  {mph:>5.0} mph | {est:>6.1}  | {:>4.1} %",
+                (est - mph).abs() / mph * 100.0
+            ),
+            Err(e) => println!("  {mph:>5.0} mph | failed: {e}"),
+        }
+    }
+
+    // Contrast with the radar baseline: the speed itself is fine, but in
+    // traffic the ticket frequently goes to the wrong car.
+    let radar = RadarDeployment::default();
+    let wrong = radar.wrong_ticket_rate(4, 10_000, &mut rng);
+    println!(
+        "\nPolice-radar baseline in 4-car traffic: {:.0} % of tickets go to the wrong car;",
+        wrong * 100.0
+    );
+    println!("Caraoke attributes every speed to a decoded transponder id, so that error vanishes.");
+}

@@ -1,0 +1,41 @@
+//! Traffic monitoring at an intersection (the Fig. 12 application): a
+//! Caraoke reader on the traffic light counts the queued transponders every
+//! few seconds, revealing how the backlog builds during red and clears during
+//! green — data a city could use to retime its lights.
+//!
+//! Run with: `cargo run --example traffic_monitoring`
+
+use caraoke_sim::traffic::LightPhase;
+use caraoke_sim::IntersectionSim;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let sim = IntersectionSim::street_a_and_c();
+    let series = sim.run(270, &mut rng); // three 90 s light cycles
+
+    for (idx, name) in ["Street A (minor)", "Street C (major)"].iter().enumerate() {
+        println!("{name}: queue length every 10 s (R = red, G = green, Y = yellow)");
+        for sample in series[idx].iter().step_by(10) {
+            let phase = match sample.phase {
+                LightPhase::Green => 'G',
+                LightPhase::Yellow => 'Y',
+                LightPhase::Red => 'R',
+            };
+            println!(
+                "  t={:>4.0}s [{phase}] {}",
+                sample.time,
+                "*".repeat(sample.queue)
+            );
+        }
+        let queues: Vec<f64> = series[idx].iter().map(|s| s.queue as f64).collect();
+        println!(
+            "  average queue {:.1} cars, peak {} cars\n",
+            caraoke_dsp::mean(&queues),
+            queues.iter().cloned().fold(0.0_f64, f64::max)
+        );
+    }
+    println!("Street C carries ~10x the traffic of street A but only gets 3x the green time —");
+    println!("exactly the kind of imbalance Fig. 12 of the paper shows Caraoke exposing.");
+}

@@ -1,0 +1,15 @@
+//! # caraoke-suite
+//!
+//! Convenience facade over the Caraoke workspace crates. Downstream users will
+//! normally depend on the individual crates (`caraoke`, `caraoke-phy`, ...);
+//! this crate exists so that the repository-level examples and integration
+//! tests have a single package to live in, and re-exports everything for
+//! quick experimentation.
+
+pub use caraoke as reader;
+pub use caraoke_baseline as baseline;
+pub use caraoke_dsp as dsp;
+pub use caraoke_geom as geom;
+pub use caraoke_phy as phy;
+pub use caraoke_power as power;
+pub use caraoke_sim as sim;

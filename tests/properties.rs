@@ -1,0 +1,86 @@
+//! Workspace-level property-based tests (proptest) on the core invariants:
+//! FFT round trips, packet round trips, AoA round trips, and the counting
+//! rule.
+
+use caraoke_dsp::{fft, ifft, Complex};
+use caraoke_geom::{angle_to_phase_diff, phase_diff_to_angle, CARRIER_WAVELENGTH_M};
+use caraoke_phy::modulation::{manchester_decode, manchester_encode};
+use caraoke_phy::protocol::{TransponderId, TransponderPacket};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn fft_ifft_round_trip(values in prop::collection::vec((-1.0e3f64..1.0e3, -1.0e3f64..1.0e3), 64)) {
+        let signal: Vec<Complex> = values.iter().map(|&(re, im)| Complex::new(re, im)).collect();
+        let back = ifft(&fft(&signal));
+        for (a, b) in signal.iter().zip(back.iter()) {
+            prop_assert!((a.re - b.re).abs() < 1e-6);
+            prop_assert!((a.im - b.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fft_preserves_energy(values in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 128)) {
+        let signal: Vec<Complex> = values.iter().map(|&(re, im)| Complex::new(re, im)).collect();
+        let spec = fft(&signal);
+        let time_energy: f64 = signal.iter().map(|c| c.norm_sqr()).sum();
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / signal.len() as f64;
+        prop_assert!((time_energy - freq_energy).abs() <= 1e-6 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn packet_round_trip_for_any_fields(id in any::<u64>(), agency in any::<u128>(), factory in any::<u128>()) {
+        let pkt = TransponderPacket::new(TransponderId(id), agency, factory);
+        let bits = pkt.to_bits();
+        prop_assert_eq!(bits.len(), caraoke_phy::PACKET_BITS);
+        let parsed = TransponderPacket::from_bits(&bits).expect("CRC must verify");
+        prop_assert_eq!(parsed, pkt);
+    }
+
+    #[test]
+    fn single_bit_flip_is_always_detected(id in any::<u64>(), flip in 0usize..256) {
+        let pkt = TransponderPacket::from_id(TransponderId(id));
+        let mut bits = pkt.to_bits();
+        bits[flip] ^= 1;
+        prop_assert!(TransponderPacket::from_bits(&bits).is_none());
+    }
+
+    #[test]
+    fn manchester_round_trip(bits in prop::collection::vec(0u8..2, 1..512)) {
+        let chips = manchester_encode(&bits);
+        prop_assert_eq!(chips.len(), bits.len() * 2);
+        let decoded = manchester_decode(&chips).expect("even chip count");
+        prop_assert_eq!(decoded, bits);
+    }
+
+    #[test]
+    fn aoa_phase_round_trip(angle_deg in 5.0f64..175.0) {
+        let spacing = CARRIER_WAVELENGTH_M / 2.0;
+        let alpha = angle_deg.to_radians();
+        let phase = angle_to_phase_diff(alpha, spacing, CARRIER_WAVELENGTH_M);
+        let back = phase_diff_to_angle(phase, spacing, CARRIER_WAVELENGTH_M).expect("in range");
+        prop_assert!((back - alpha).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counting_rule_never_overcounts_by_more_than_peaks(occupancies in prop::collection::vec(0u32..5, 1..200)) {
+        // The §5 rule (min(occupancy, 2) per bin) never exceeds the true
+        // count and never reports more than twice the number of peaks.
+        let truth: u32 = occupancies.iter().sum();
+        let estimate: u32 = occupancies.iter().map(|&o| o.min(2)).sum();
+        let peaks = occupancies.iter().filter(|&&o| o > 0).count() as u32;
+        prop_assert!(estimate <= truth);
+        prop_assert!(estimate <= 2 * peaks);
+        // And it is exact whenever no bin holds three or more tags.
+        if occupancies.iter().all(|&o| o < 3) {
+            prop_assert_eq!(estimate, truth);
+        }
+    }
+
+    #[test]
+    fn speed_error_bound_is_monotone_in_speed(v1 in 1.0f64..30.0, dv in 0.1f64..30.0) {
+        let b1 = caraoke_geom::speed_error_bound(v1, 110.0, 2.6, 0.1);
+        let b2 = caraoke_geom::speed_error_bound(v1 + dv, 110.0, 2.6, 0.1);
+        prop_assert!(b2 >= b1);
+    }
+}
