@@ -102,6 +102,9 @@ mod tests {
             naive_counting_accuracy_percent(50, CfoModel::Uniform, BIN, N_BINS, 5_000, &mut rng);
         assert!(a10 > 99.0);
         assert!(a50 < a10);
-        assert!(a50 > 90.0, "even naive counting is only a few % off in expectation");
+        assert!(
+            a50 > 90.0,
+            "even naive counting is only a few % off in expectation"
+        );
     }
 }

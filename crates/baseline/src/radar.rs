@@ -50,11 +50,7 @@ impl RadarDeployment {
 
     /// Issues a ticket for a speeding car when `cars_in_view` cars are
     /// visible; with only one car there is nothing to confuse.
-    pub fn issue_ticket<R: Rng + ?Sized>(
-        &self,
-        cars_in_view: usize,
-        rng: &mut R,
-    ) -> TicketOutcome {
+    pub fn issue_ticket<R: Rng + ?Sized>(&self, cars_in_view: usize, rng: &mut R) -> TicketOutcome {
         use rand::RngExt;
         if cars_in_view <= 1 {
             return TicketOutcome::Correct;
@@ -111,7 +107,10 @@ mod tests {
         let radar = RadarDeployment::default();
         let v = 20.0;
         let n = 20_000;
-        let mean: f64 = (0..n).map(|_| radar.measure_speed(v, &mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| radar.measure_speed(v, &mut rng))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - v).abs() < 0.05, "got {mean}");
     }
 

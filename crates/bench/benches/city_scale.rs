@@ -1,0 +1,70 @@
+//! City-scale ingestion benchmark (ROADMAP north star): ≥ 1 M tag
+//! observations across ≥ 1 000 simulated poles, streamed through the
+//! multi-threaded `caraoke-city` pipeline.
+//!
+//! Besides the Criterion timings, each configuration prints its measured
+//! observations/sec and asserts the determinism contract: aggregates from a
+//! multi-shard, multi-worker run are byte-identical (equal fingerprints) to a
+//! single-shard, single-worker run of the same seed.
+
+use caraoke_city::{BatchDriver, StoreConfig, SyntheticCity};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// `(label, poles, epochs)`: both shapes ingest ≥ 1 M observations (≈ 4.3
+/// observations per pole-epoch before the 5 % detection-loss model).
+const SHAPES: &[(&str, usize, usize)] = &[
+    ("city_scale_1k_poles_1M_obs", 1_000, 250),
+    ("city_scale_10k_poles_1M_obs", 10_000, 25),
+];
+
+fn driver(workers: usize, shards: usize) -> BatchDriver {
+    BatchDriver {
+        workers,
+        consumers: 2,
+        queue_capacity: 4096,
+        store: StoreConfig {
+            shards,
+            ..Default::default()
+        },
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    for &(label, poles, epochs) in SHAPES {
+        let source = SyntheticCity::new(poles, epochs, 17);
+        // Report throughput and check determinism once, outside the timing loop.
+        let run = driver(8, 16).run(&source);
+        assert!(
+            run.observations >= 1_000_000,
+            "{label}: expected >= 1M observations, got {}",
+            run.observations
+        );
+        let single = driver(1, 1).run(&source);
+        assert_eq!(
+            run.aggregates.fingerprint(),
+            single.aggregates.fingerprint(),
+            "{label}: aggregates must be byte-identical across shard/worker counts"
+        );
+        println!(
+            "{label}: {} observations from {} poles -> {:.0} obs/s \
+             (8 workers / 16 shards; fingerprint {:#018x})",
+            run.observations,
+            poles,
+            run.observations_per_sec(),
+            run.aggregates.fingerprint()
+        );
+        c.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(driver(8, 16).run(&source).observations))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(10));
+    targets = bench
+}
+criterion_main!(benches);

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! experiments [all|fig4|fig8|fig11|fig12|fig13|fig14|fig15|fig16|
-//!              table-counting-prob|table-speed-bound|table-power|table-mac|sfft]
+//!              table-counting-prob|table-speed-bound|table-power|table-mac|
+//!              sfft|city]
 //!              [--quick]
 //! ```
 //!
@@ -182,6 +183,18 @@ fn main() {
             "{}",
             bench::format_rows(
                 "§10 sparse FFT vs dense FFT peak recovery (timing in `cargo bench --bench sfft_vs_fft`)",
+                &rows
+            )
+        );
+    }
+
+    if run("city") {
+        let (poles, epochs) = if quick { (200, 50) } else { (1_000, 250) };
+        let rows = bench::city_scale(poles, epochs, 8, 13);
+        println!(
+            "{}",
+            bench::format_rows(
+                "city-scale ingestion (ROADMAP north star: sharded multi-threaded caraoke-city pipeline; full sweep in `cargo bench --bench city_scale`)",
                 &rows
             )
         );

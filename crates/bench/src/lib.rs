@@ -20,6 +20,7 @@ use caraoke::multipath::{
 use caraoke::{analyze_collision, ReaderConfig};
 use caraoke_baseline::camera::{CameraCondition, CameraCounter};
 use caraoke_baseline::naive_count::naive_counting_accuracy;
+use caraoke_city::{BatchDriver, StoreConfig, SyntheticCity};
 use caraoke_dsp::{magnitude_spectrum, Summary};
 use caraoke_geom::units::CARRIER_WAVELENGTH_M;
 use caraoke_geom::Vec3;
@@ -386,7 +387,10 @@ pub fn fig15_speed(runs_per_speed: usize, seed: u64) -> Vec<Row> {
                 vec![
                     ("detected_mean_mph", summary.mean),
                     ("mean_rel_error_%", caraoke_dsp::mean(&rel_errors)),
-                    ("p90_rel_error_%", caraoke_dsp::percentile(&rel_errors, 90.0)),
+                    (
+                        "p90_rel_error_%",
+                        caraoke_dsp::percentile(&rel_errors, 90.0),
+                    ),
                 ],
             )
         })
@@ -545,10 +549,7 @@ pub fn sfft_comparison(seed: u64) -> Vec<Row> {
             // the carrier spikes of co-located tags are within a few dB of
             // each other, whereas OOK data sidebands sit far below.
             let sparse = caraoke_dsp::SparseFft::with_defaults().analyze(sig.antenna(0));
-            let strongest = sparse
-                .iter()
-                .map(|p| p.value.abs())
-                .fold(0.0_f64, f64::max);
+            let strongest = sparse.iter().map(|p| p.value.abs()).fold(0.0_f64, f64::max);
             let sparse_peaks = sparse
                 .into_iter()
                 .filter(|p| p.bin <= cfg.cfo_bins() && p.value.abs() >= strongest / 10.0)
@@ -562,6 +563,54 @@ pub fn sfft_comparison(seed: u64) -> Vec<Row> {
             )
         })
         .collect()
+}
+
+/// City-scale ingestion workload (ROADMAP north star): streams synthetic
+/// reader output from `n_poles` poles for `epochs` query epochs through the
+/// multi-threaded `caraoke-city` pipeline and reports throughput, plus the
+/// determinism fingerprint check across shard counts.
+pub fn city_scale(n_poles: usize, epochs: usize, workers: usize, seed: u64) -> Vec<Row> {
+    let source = SyntheticCity::new(n_poles, epochs, seed);
+    let driver = BatchDriver {
+        workers,
+        consumers: 2,
+        queue_capacity: 4096,
+        store: StoreConfig::default(),
+    };
+    let run = driver.run(&source);
+    let mut rows = vec![Row::new(
+        format!("{n_poles} poles x {epochs} epochs"),
+        vec![
+            ("observations", run.observations as f64),
+            ("obs_per_sec", run.observations_per_sec()),
+            ("distinct_tags", run.distinct_tags as f64),
+            ("speed_samples", run.aggregates.speeds.samples() as f64),
+            ("od_transitions", run.aggregates.od.total() as f64),
+        ],
+    )];
+    // Determinism: 1 shard vs many shards must agree byte-for-byte.
+    let single = BatchDriver {
+        workers: 1,
+        consumers: 1,
+        store: StoreConfig {
+            shards: 1,
+            ..Default::default()
+        },
+        ..driver
+    }
+    .run(&source);
+    rows.push(Row::new(
+        "shard invariance",
+        vec![
+            (
+                "fingerprints_match",
+                (single.aggregates.fingerprint() == run.aggregates.fingerprint()) as u64 as f64,
+            ),
+            ("p50_speed_mph", run.aggregates.speeds.percentile_mph(50.0)),
+            ("p90_speed_mph", run.aggregates.speeds.percentile_mph(90.0)),
+        ],
+    ));
+    rows
 }
 
 #[cfg(test)]
@@ -591,8 +640,16 @@ mod tests {
     fn fig08_bit_errors_drop_with_averaging() {
         let rows = fig08_averaging(3);
         let ber: Vec<f64> = rows.iter().map(|r| r.values[0].1).collect();
-        assert!(ber[0] > ber[2], "BER must drop from {} to {}", ber[0], ber[2]);
-        assert!(ber[2] < 0.05, "after 16 averages the target should be clean");
+        assert!(
+            ber[0] > ber[2],
+            "BER must drop from {} to {}",
+            ber[0],
+            ber[2]
+        );
+        assert!(
+            ber[2] < 0.05,
+            "after 16 averages the target should be clean"
+        );
     }
 
     #[test]
@@ -622,6 +679,17 @@ mod tests {
         let none_harmful = rows[1].values[1].1;
         assert_eq!(csma_harmful, 0.0);
         assert!(none_harmful > 0.0);
+    }
+
+    #[test]
+    fn city_scale_reports_throughput_and_shard_invariance() {
+        let rows = city_scale(64, 10, 4, 3);
+        assert_eq!(rows.len(), 2);
+        let obs = rows[0].values[0].1;
+        let throughput = rows[0].values[1].1;
+        assert!(obs > 1_000.0, "observations {obs}");
+        assert!(throughput > 0.0);
+        assert_eq!(rows[1].values[0].1, 1.0, "fingerprints must match");
     }
 
     #[test]

@@ -1,0 +1,469 @@
+//! Streaming aggregators, computed incrementally on ingest.
+//!
+//! Every aggregator here accumulates **integer counters only** (counts,
+//! quantized sums, histogram bins). Integer addition is associative and
+//! commutative, so aggregates merged from any number of shards in any
+//! grouping are *byte-identical* — the property the shard-count-invariance
+//! tests pin down. Floating-point output (means, percentiles) is derived
+//! from the integer state only at snapshot time.
+//!
+//! The four city products map to the paper's evaluation workloads:
+//!
+//! * [`SegmentStats`] — per-street occupancy (the Fig. 13 parking workload).
+//! * [`FlowCounter`] — vehicles per traffic-light cycle (Fig. 12).
+//! * [`SpeedHistogram`] — speed percentiles from cross-pole fixes (§7).
+//! * [`OdMatrix`] — origin–destination transitions from tag re-sightings.
+
+use crate::event::{PoleId, SegmentId};
+use std::collections::BTreeMap;
+
+/// Offset-basis and prime of 64-bit FNV-1a, used for aggregate fingerprints.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher over an aggregate's canonical byte encoding.
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// Starts a fingerprint.
+    pub fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    /// Feeds bytes into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds one little-endian u64.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Finishes the hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-street-segment occupancy statistics (the parking workload, Fig. 13).
+///
+/// Each pole report contributes its §5 count; the segment's mean simultaneous
+/// occupancy and its peak fall out of the integer sums at snapshot time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Pole reports folded into this segment.
+    pub reports: u64,
+    /// Tag observations folded into this segment.
+    pub observations: u64,
+    /// Sum over reports of the per-query transponder count.
+    pub sum_count: u64,
+    /// Largest single-query count seen (peak occupancy).
+    pub peak_count: u32,
+    /// Spikes the §5 time-shift test flagged as holding two tags.
+    pub multi_occupied_peaks: u64,
+}
+
+impl SegmentStats {
+    /// Folds one pole report's headline numbers in.
+    pub fn record_report(&mut self, count: u32, observations: u32, multi_occupied: u32) {
+        self.reports += 1;
+        self.observations += observations as u64;
+        self.sum_count += count as u64;
+        self.peak_count = self.peak_count.max(count);
+        self.multi_occupied_peaks += multi_occupied as u64;
+    }
+
+    /// Mean simultaneous occupancy over all reports.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.reports == 0 {
+            0.0
+        } else {
+            self.sum_count as f64 / self.reports as f64
+        }
+    }
+
+    /// Merges another segment's counters (associative, commutative).
+    pub fn merge(&mut self, other: &SegmentStats) {
+        self.reports += other.reports;
+        self.observations += other.observations;
+        self.sum_count += other.sum_count;
+        self.peak_count = self.peak_count.max(other.peak_count);
+        self.multi_occupied_peaks += other.multi_occupied_peaks;
+    }
+
+    fn fingerprint_into(&self, fp: &mut Fingerprint) {
+        fp.write_u64(self.reports);
+        fp.write_u64(self.observations);
+        fp.write_u64(self.sum_count);
+        fp.write_u64(self.peak_count as u64);
+        fp.write_u64(self.multi_occupied_peaks);
+    }
+}
+
+/// Vehicles per traffic-light cycle per segment (the Fig. 12 workload).
+///
+/// A "flow event" is a tag entering a `(segment, cycle)` bucket it was not in
+/// before — the streaming analogue of the paper's queue counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlowCounter {
+    /// Flow events per `(segment, light cycle index)`.
+    pub per_cycle: BTreeMap<(u16, u32), u64>,
+}
+
+impl FlowCounter {
+    /// Records one flow event.
+    pub fn record(&mut self, segment: SegmentId, cycle: u32) {
+        *self.per_cycle.entry((segment.0, cycle)).or_insert(0) += 1;
+    }
+
+    /// Total flow events.
+    pub fn total(&self) -> u64 {
+        self.per_cycle.values().sum()
+    }
+
+    /// Mean flow per cycle for one segment, averaged over the segment's
+    /// observed cycle span (first to last active cycle, inclusive) so idle
+    /// cycles inside the span count as zero.
+    pub fn mean_flow(&self, segment: SegmentId) -> f64 {
+        let mut total = 0u64;
+        let mut first = u32::MAX;
+        let mut last = 0u32;
+        for (&(s, cycle), &v) in &self.per_cycle {
+            if s == segment.0 {
+                total += v;
+                first = first.min(cycle);
+                last = last.max(cycle);
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            total as f64 / (last - first + 1) as f64
+        }
+    }
+
+    /// Merges another counter (associative, commutative).
+    pub fn merge(&mut self, other: &FlowCounter) {
+        for (&key, &v) in &other.per_cycle {
+            *self.per_cycle.entry(key).or_insert(0) += v;
+        }
+    }
+
+    fn fingerprint_into(&self, fp: &mut Fingerprint) {
+        fp.write_u64(self.per_cycle.len() as u64);
+        for (&(seg, cycle), &v) in &self.per_cycle {
+            fp.write_u64((seg as u64) << 32 | cycle as u64);
+            fp.write_u64(v);
+        }
+    }
+}
+
+/// Streaming speed distribution from cross-pole re-sightings (§7).
+///
+/// Speeds are quantized into fixed-width bins, so any merge order yields the
+/// same state and percentiles are exact to half a bin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpeedHistogram {
+    /// Samples per bin; bin `i` covers `[i, i+1) * BIN_WIDTH_MPH`.
+    bins: Vec<u64>,
+    /// Total samples, including clamped outliers.
+    samples: u64,
+    /// Sum of speeds quantized to hundredths of a mph.
+    sum_centi_mph: u64,
+}
+
+impl SpeedHistogram {
+    /// Width of one histogram bin, mph.
+    pub const BIN_WIDTH_MPH: f64 = 0.5;
+    /// Number of bins (covers 0–150 mph; faster samples clamp to the top).
+    pub const N_BINS: usize = 300;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            bins: vec![0; Self::N_BINS],
+            samples: 0,
+            sum_centi_mph: 0,
+        }
+    }
+
+    /// Records one speed sample. Outliers clamp to the histogram ceiling in
+    /// both the bin index and the mean's sum, so `mean_mph` and the
+    /// percentiles stay mutually consistent.
+    pub fn record(&mut self, speed_mph: f64) {
+        if !speed_mph.is_finite() || speed_mph < 0.0 {
+            return;
+        }
+        let ceiling = Self::N_BINS as f64 * Self::BIN_WIDTH_MPH;
+        let clamped = speed_mph.min(ceiling);
+        let bin = ((clamped / Self::BIN_WIDTH_MPH) as usize).min(Self::N_BINS - 1);
+        self.bins[bin] += 1;
+        self.samples += 1;
+        self.sum_centi_mph += (clamped * 100.0).round() as u64;
+    }
+
+    /// Number of samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Mean speed, mph.
+    pub fn mean_mph(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum_centi_mph as f64 / 100.0 / self.samples as f64
+        }
+    }
+
+    /// The `p`-th percentile (0–100), reported at the owning bin's midpoint.
+    pub fn percentile_mph(&self, p: f64) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * self.samples as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.bins.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return (i as f64 + 0.5) * Self::BIN_WIDTH_MPH;
+            }
+        }
+        (Self::N_BINS as f64 - 0.5) * Self::BIN_WIDTH_MPH
+    }
+
+    /// Merges another histogram (associative, commutative).
+    pub fn merge(&mut self, other: &SpeedHistogram) {
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += b;
+        }
+        self.samples += other.samples;
+        self.sum_centi_mph += other.sum_centi_mph;
+    }
+
+    fn fingerprint_into(&self, fp: &mut Fingerprint) {
+        fp.write_u64(self.samples);
+        fp.write_u64(self.sum_centi_mph);
+        for &b in &self.bins {
+            fp.write_u64(b);
+        }
+    }
+}
+
+impl Default for SpeedHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Origin–destination matrix over poles, from tag re-sightings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OdMatrix {
+    /// Transition counts keyed by `(from pole, to pole)`.
+    pub transitions: BTreeMap<(u32, u32), u64>,
+}
+
+impl OdMatrix {
+    /// Records one tag moving from `from` to `to`.
+    pub fn record(&mut self, from: PoleId, to: PoleId) {
+        *self.transitions.entry((from.0, to.0)).or_insert(0) += 1;
+    }
+
+    /// Total recorded transitions.
+    pub fn total(&self) -> u64 {
+        self.transitions.values().sum()
+    }
+
+    /// The `n` busiest origin–destination pairs, by count descending (ties
+    /// broken by pole ids so the order is deterministic).
+    pub fn top(&self, n: usize) -> Vec<((u32, u32), u64)> {
+        let mut pairs: Vec<((u32, u32), u64)> =
+            self.transitions.iter().map(|(&k, &v)| (k, v)).collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.truncate(n);
+        pairs
+    }
+
+    /// Merges another matrix (associative, commutative).
+    pub fn merge(&mut self, other: &OdMatrix) {
+        for (&key, &v) in &other.transitions {
+            *self.transitions.entry(key).or_insert(0) += v;
+        }
+    }
+
+    fn fingerprint_into(&self, fp: &mut Fingerprint) {
+        fp.write_u64(self.transitions.len() as u64);
+        for (&(from, to), &v) in &self.transitions {
+            fp.write_u64((from as u64) << 32 | to as u64);
+            fp.write_u64(v);
+        }
+    }
+}
+
+/// The complete city-wide aggregate state: everything the analytics tier
+/// knows, mergeable across shards and fingerprintable for determinism checks.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CityAggregates {
+    /// Per-segment occupancy statistics.
+    pub segments: BTreeMap<u16, SegmentStats>,
+    /// Flow per traffic-light cycle.
+    pub flow: FlowCounter,
+    /// Cross-pole speed distribution.
+    pub speeds: SpeedHistogram,
+    /// Origin–destination matrix.
+    pub od: OdMatrix,
+    /// Total tag observations ingested.
+    pub observations: u64,
+}
+
+impl CityAggregates {
+    /// Creates an empty aggregate state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds a pole report's headline numbers into the per-segment stats.
+    pub fn record_report(&mut self, segment: SegmentId, count: u32, obs: u32, multi: u32) {
+        self.segments
+            .entry(segment.0)
+            .or_default()
+            .record_report(count, obs, multi);
+    }
+
+    /// Merges another aggregate state (associative, commutative).
+    pub fn merge(&mut self, other: &CityAggregates) {
+        for (&seg, stats) in &other.segments {
+            self.segments.entry(seg).or_default().merge(stats);
+        }
+        self.flow.merge(&other.flow);
+        self.speeds.merge(&other.speeds);
+        self.od.merge(&other.od);
+        self.observations += other.observations;
+    }
+
+    /// 64-bit FNV-1a fingerprint of the canonical byte encoding of the whole
+    /// aggregate state. Two states with equal fingerprints under the
+    /// determinism tests are byte-identical.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.write_u64(self.observations);
+        fp.write_u64(self.segments.len() as u64);
+        for (&seg, stats) in &self.segments {
+            fp.write_u64(seg as u64);
+            stats.fingerprint_into(&mut fp);
+        }
+        self.flow.fingerprint_into(&mut fp);
+        self.speeds.fingerprint_into(&mut fp);
+        self.od.fingerprint_into(&mut fp);
+        fp.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_stats_mean_and_peak() {
+        let mut s = SegmentStats::default();
+        s.record_report(3, 3, 0);
+        s.record_report(5, 4, 1);
+        s.record_report(4, 4, 0);
+        assert_eq!(s.reports, 3);
+        assert_eq!(s.peak_count, 5);
+        assert!((s.mean_occupancy() - 4.0).abs() < 1e-12);
+        assert_eq!(s.multi_occupied_peaks, 1);
+    }
+
+    #[test]
+    fn flow_counter_buckets_by_segment_and_cycle() {
+        let mut f = FlowCounter::default();
+        f.record(SegmentId(1), 0);
+        f.record(SegmentId(1), 0);
+        f.record(SegmentId(1), 1);
+        f.record(SegmentId(2), 0);
+        assert_eq!(f.total(), 4);
+        assert!((f.mean_flow(SegmentId(1)) - 1.5).abs() < 1e-12);
+        assert!((f.mean_flow(SegmentId(2)) - 1.0).abs() < 1e-12);
+        assert_eq!(f.mean_flow(SegmentId(9)), 0.0);
+        // Idle cycles inside the observed span dilute the mean.
+        f.record(SegmentId(3), 0);
+        f.record(SegmentId(3), 10);
+        assert!((f.mean_flow(SegmentId(3)) - 2.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speed_histogram_percentiles_are_ordered_and_clamped() {
+        let mut h = SpeedHistogram::new();
+        for mph in [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0] {
+            h.record(mph);
+        }
+        h.record(1e9); // clamps to the top bin
+        h.record(-5.0); // dropped
+        h.record(f64::NAN); // dropped
+        assert_eq!(h.samples(), 11);
+        let p50 = h.percentile_mph(50.0);
+        let p90 = h.percentile_mph(90.0);
+        let p99 = h.percentile_mph(99.0);
+        assert!(p50 < p90 && p90 <= p99);
+        // 11 samples: rank ceil(0.5 * 11) = 6 ⇒ the 60 mph sample's bin.
+        assert!((p50 - 60.25).abs() < 0.5, "p50 {p50}");
+        let ceiling = SpeedHistogram::N_BINS as f64 * SpeedHistogram::BIN_WIDTH_MPH;
+        assert!(p99 <= ceiling);
+        // Outliers clamp in the mean too, keeping it consistent with the
+        // percentiles.
+        assert!(h.mean_mph() <= ceiling, "mean {}", h.mean_mph());
+    }
+
+    #[test]
+    fn od_matrix_top_pairs_are_deterministic() {
+        let mut od = OdMatrix::default();
+        od.record(PoleId(0), PoleId(1));
+        od.record(PoleId(0), PoleId(1));
+        od.record(PoleId(1), PoleId(2));
+        od.record(PoleId(5), PoleId(6));
+        let top = od.top(2);
+        assert_eq!(top[0], ((0, 1), 2));
+        assert_eq!(top[1], ((1, 2), 1), "ties break by pole id");
+        assert_eq!(od.total(), 4);
+    }
+
+    #[test]
+    fn merge_is_order_independent_and_fingerprint_stable() {
+        let mut parts = Vec::new();
+        for i in 0..4u32 {
+            let mut a = CityAggregates::new();
+            a.record_report(SegmentId(i as u16 % 2), i + 1, i, 0);
+            a.flow.record(SegmentId(i as u16 % 2), i);
+            a.speeds.record(10.0 * (i + 1) as f64);
+            a.od.record(PoleId(i), PoleId(i + 1));
+            a.observations += i as u64;
+            parts.push(a);
+        }
+        let mut forward = CityAggregates::new();
+        for p in &parts {
+            forward.merge(p);
+        }
+        let mut backward = CityAggregates::new();
+        for p in parts.iter().rev() {
+            backward.merge(p);
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward.fingerprint(), backward.fingerprint());
+        // Different state ⇒ different fingerprint (with overwhelming odds).
+        let mut changed = forward.clone();
+        changed.speeds.record(12.0);
+        assert_ne!(forward.fingerprint(), changed.fingerprint());
+    }
+}

@@ -1,0 +1,63 @@
+//! # caraoke-city
+//!
+//! The smart-city layer of the Caraoke reproduction: ingestion and analytics
+//! over the per-pole reader outputs, at the scale the paper's vision sketches
+//! (hundreds to thousands of poles, §7, §9, §11–12).
+//!
+//! The workspace layers stack as:
+//!
+//! ```text
+//!   caraoke-dsp  caraoke-geom  caraoke-phy      signal/geometry/PHY kernels
+//!          \          |          /
+//!            caraoke (core reader)              one pole's algorithms (§4–§8)
+//!                     |
+//!               caraoke-sim                     streets, vehicles, poles (§11)
+//!                     |
+//!               caraoke-city  ← this crate      fleet-scale ingest + analytics
+//! ```
+//!
+//! Pipeline, left to right:
+//!
+//! * [`event`] — the wire model: [`TagObservation`]s (tag key, AoA fix, CFO
+//!   bin, RSSI, timestamp) grouped into [`PoleReport`]s.
+//! * [`queue`] — bounded ring-buffer ingestion with blocking backpressure
+//!   ([`IngestQueue::push`]) and load-shedding ([`IngestQueue::try_push`]).
+//! * [`store`] — the sharded, lock-striped in-memory store, keyed by tag and
+//!   by street segment.
+//! * [`aggregate`] — streaming aggregators computed incrementally on ingest:
+//!   per-street occupancy (Fig. 13), flow per traffic-light cycle (Fig. 12),
+//!   speed percentiles from cross-pole fixes (§7), and the
+//!   origin–destination matrix from tag re-sightings.
+//! * [`driver`] — the multi-threaded batch driver fanning per-pole frames
+//!   across workers and merging results deterministically under a fixed
+//!   seed.
+//! * [`synth`] / [`phy`] — frame sources: a fast synthetic city for
+//!   1k–10k-pole ingestion benchmarks, and the full sim → PHY →
+//!   [`caraoke::CaraokeReader`] path for evaluation runs.
+//! * [`dashboard`] — text rendering of a run.
+//!
+//! Determinism is a first-class property: aggregates are integer-counter
+//! CRDTs and per-tag histories are totally ordered per shard, so a fixed
+//! seed yields **byte-identical** aggregates for any shard count, worker
+//! count, or delivery order. `CityAggregates::fingerprint` pins this in the
+//! test suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod dashboard;
+pub mod driver;
+pub mod event;
+pub mod phy;
+pub mod queue;
+pub mod store;
+pub mod synth;
+
+pub use aggregate::{CityAggregates, FlowCounter, OdMatrix, SegmentStats, SpeedHistogram};
+pub use driver::{BatchDriver, CityRun, FrameSource};
+pub use event::{PoleId, PoleReport, SegmentId, TagKey, TagObservation};
+pub use phy::PhyCity;
+pub use queue::{IngestQueue, PushError, QueueStats};
+pub use store::{PoleDirectory, PoleSite, ShardedStore, StoreConfig};
+pub use synth::SyntheticCity;

@@ -1,0 +1,543 @@
+//! The sharded, lock-striped in-memory store.
+//!
+//! Observations are keyed two ways, mirroring the two query patterns of the
+//! analytics tier:
+//!
+//! * **by tag** — [`TagShard`]s hold per-tag sighting state (last pole, last
+//!   time), from which the re-sighting analytics (speed samples, OD
+//!   transitions, flow events) are derived. A tag always hashes to the same
+//!   shard, so its history is totally ordered no matter how many shards or
+//!   ingest threads are configured.
+//! * **by street segment** — report-level occupancy counters live in a
+//!   separate set of lock stripes keyed by segment.
+//!
+//! Determinism contract: scatter order is arbitrary (any thread may deliver
+//! any report), but [`ShardedStore::finalize`] sorts each shard's buffered
+//! observations by `(timestamp, pole, tag)` before applying them, and every
+//! aggregator is an integer CRDT-style counter (see [`crate::aggregate`]).
+//! The final [`CityAggregates`] is therefore byte-identical for any shard
+//! count, worker count, or delivery order — the property the
+//! shard-invariance tests pin.
+
+use crate::aggregate::{CityAggregates, SegmentStats};
+use crate::event::{PoleId, PoleReport, SegmentId, TagKey, TagObservation};
+use caraoke_geom::Vec3;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Static description of one pole: where it is and which segment it watches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoleSite {
+    /// Street segment the pole monitors.
+    pub segment: SegmentId,
+    /// Position of the pole top, metres.
+    pub position: Vec3,
+}
+
+/// The deployment's pole directory, indexed by [`PoleId`].
+#[derive(Debug, Clone, Default)]
+pub struct PoleDirectory {
+    sites: Vec<PoleSite>,
+}
+
+impl PoleDirectory {
+    /// Builds a directory from pole sites (index = pole id).
+    pub fn new(sites: Vec<PoleSite>) -> Self {
+        Self { sites }
+    }
+
+    /// Number of poles.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The site of a pole.
+    pub fn site(&self, pole: PoleId) -> &PoleSite {
+        &self.sites[pole.0 as usize]
+    }
+
+    /// Straight-line distance between two poles, metres.
+    pub fn distance_m(&self, a: PoleId, b: PoleId) -> f64 {
+        self.site(a).position.distance(self.site(b).position)
+    }
+
+    /// Iterates over `(PoleId, &PoleSite)`.
+    pub fn iter(&self) -> impl Iterator<Item = (PoleId, &PoleSite)> {
+        self.sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (PoleId(i as u32), s))
+    }
+}
+
+/// Tuning knobs for the re-sighting analytics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreConfig {
+    /// Number of tag shards (lock stripes for per-tag state).
+    pub shards: usize,
+    /// Number of lock stripes for per-segment counters.
+    pub segment_stripes: usize,
+    /// Traffic-light cycle length used to bucket flow events, µs (Fig. 12
+    /// uses 90 s cycles; 60 s is a common default).
+    pub light_cycle_us: u64,
+    /// Re-sightings farther apart than this are treated as unrelated trips
+    /// (no speed sample, still an OD transition).
+    pub max_speed_gap_us: u64,
+    /// Re-sightings closer together than this are ignored for speed (the
+    /// AoA/NTP error would dominate, §7).
+    pub min_speed_gap_us: u64,
+    /// Speed samples above this are discarded as implausible (CFO-key
+    /// aliasing or tags re-entering a looping deployment can otherwise fake
+    /// teleport-grade fixes).
+    pub max_plausible_speed_mph: f64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            segment_stripes: 8,
+            light_cycle_us: 60_000_000,
+            max_speed_gap_us: 120_000_000,
+            min_speed_gap_us: 200_000,
+            max_plausible_speed_mph: 120.0,
+        }
+    }
+}
+
+/// Per-tag sighting state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TagState {
+    /// Pole visited before `last_pole` (`u32::MAX` while unknown); used to
+    /// suppress ping-pong between two poles with overlapping coverage.
+    prev_pole: u32,
+    last_pole: PoleId,
+    /// Segment before `last_segment` (`u16::MAX` while unknown); suppresses
+    /// flow-event ping-pong when the overlapping poles straddle a segment
+    /// boundary.
+    prev_segment: u16,
+    last_segment: SegmentId,
+    /// First time the tag was heard at `last_pole`. Speeds are computed
+    /// arrival-to-arrival: two poles' coverage circles have the same radius,
+    /// so the arrival-time difference spans exactly the pole spacing (§7).
+    arrival_us: u64,
+    last_seen_us: u64,
+    last_cycle: u32,
+    sightings: u64,
+}
+
+/// One lock stripe of the by-tag store.
+#[derive(Debug, Default)]
+struct TagShard {
+    /// Observations buffered by scatter, applied (sorted) by finalize.
+    pending: Vec<TagObservation>,
+    /// Per-tag state, built during apply.
+    tags: HashMap<u64, TagState>,
+    /// Aggregates derived from this shard's tags.
+    agg: CityAggregates,
+}
+
+/// The city's sharded in-memory store.
+pub struct ShardedStore {
+    tag_shards: Vec<Mutex<TagShard>>,
+    segment_stripes: Vec<Mutex<BTreeMap<u16, SegmentStats>>>,
+    directory: PoleDirectory,
+    config: StoreConfig,
+    report_count: AtomicU64,
+}
+
+/// Fibonacci hash spreading tag keys across shards.
+fn shard_of(key: TagKey, shards: usize) -> usize {
+    (key.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % shards
+}
+
+impl ShardedStore {
+    /// Creates a store over the given deployment.
+    pub fn new(directory: PoleDirectory, config: StoreConfig) -> Self {
+        let shards = config.shards.max(1);
+        let stripes = config.segment_stripes.max(1);
+        Self {
+            tag_shards: (0..shards)
+                .map(|_| Mutex::new(TagShard::default()))
+                .collect(),
+            segment_stripes: (0..stripes).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            directory,
+            config,
+            report_count: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of tag shards.
+    pub fn shards(&self) -> usize {
+        self.tag_shards.len()
+    }
+
+    /// The deployment directory.
+    pub fn directory(&self) -> &PoleDirectory {
+        &self.directory
+    }
+
+    /// Scatters one pole report into the store: report-level counters go to
+    /// the segment stripe, per-tag observations are buffered on their tag's
+    /// shard. Safe to call from many ingest threads at once.
+    pub fn scatter(&self, report: &PoleReport) {
+        let multi = report
+            .observations
+            .iter()
+            .filter(|o| o.multi_occupied)
+            .count() as u32;
+        {
+            let stripe = report.segment.0 as usize % self.segment_stripes.len();
+            let mut seg = self.segment_stripes[stripe].lock().expect("segment stripe");
+            seg.entry(report.segment.0).or_default().record_report(
+                report.count,
+                report.observations.len() as u32,
+                multi,
+            );
+        }
+        // Group this report's observations by shard so each shard lock is
+        // taken once per report, not once per observation (scatter is the
+        // hot ingest path).
+        let n_shards = self.tag_shards.len();
+        let mut by_shard: Vec<(usize, &TagObservation)> = report
+            .observations
+            .iter()
+            .map(|o| (shard_of(o.tag, n_shards), o))
+            .collect();
+        by_shard.sort_unstable_by_key(|(s, _)| *s);
+        let mut i = 0;
+        while i < by_shard.len() {
+            let shard = by_shard[i].0;
+            let mut guard = self.tag_shards[shard].lock().expect("tag shard");
+            while i < by_shard.len() && by_shard[i].0 == shard {
+                guard.pending.push(*by_shard[i].1);
+                i += 1;
+            }
+        }
+        self.report_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Applies one shard's buffered observations in canonical order. Called
+    /// by `finalize`, possibly from several worker threads (one per shard).
+    fn apply_shard(&self, shard: &mut TagShard) {
+        let mut pending = std::mem::take(&mut shard.pending);
+        pending.sort_by_key(|o| (o.timestamp_us, o.pole.0, o.tag.0));
+        for obs in pending {
+            let cycle = (obs.timestamp_us / self.config.light_cycle_us) as u32;
+            shard.agg.observations += 1;
+            match shard.tags.get_mut(&obs.tag.0) {
+                None => {
+                    shard.agg.flow.record(obs.segment, cycle);
+                    shard.tags.insert(
+                        obs.tag.0,
+                        TagState {
+                            prev_pole: u32::MAX,
+                            last_pole: obs.pole,
+                            prev_segment: u16::MAX,
+                            last_segment: obs.segment,
+                            arrival_us: obs.timestamp_us,
+                            last_seen_us: obs.timestamp_us,
+                            last_cycle: cycle,
+                            sightings: 1,
+                        },
+                    );
+                }
+                Some(state) => {
+                    // A tag entering a (segment, light-cycle) bucket it was
+                    // not in before is one flow event (Fig. 12). Bouncing
+                    // back to the previous segment within the same cycle is
+                    // coverage-overlap ping-pong, not new flow. Segment
+                    // tracking resets at every cycle boundary so a tag
+                    // straddling two segments is credited to both, once per
+                    // cycle each.
+                    if cycle != state.last_cycle {
+                        shard.agg.flow.record(obs.segment, cycle);
+                        state.prev_segment = u16::MAX;
+                        state.last_segment = obs.segment;
+                    } else if obs.segment != state.last_segment
+                        && obs.segment.0 != state.prev_segment
+                    {
+                        shard.agg.flow.record(obs.segment, cycle);
+                        state.prev_segment = state.last_segment.0;
+                        state.last_segment = obs.segment;
+                    }
+                    // Ping-pong suppression: overlapping pole coverage makes
+                    // a tag alternate between two poles while physically in
+                    // both ranges; bouncing back to the previous pole is not
+                    // forward progress.
+                    let pingpong = obs.pole.0 == state.prev_pole;
+                    if obs.pole != state.last_pole && !pingpong {
+                        shard.agg.od.record(state.last_pole, obs.pole);
+                        // Arrival-to-arrival gap spans exactly the pole
+                        // spacing when both poles share a coverage radius.
+                        let gap = obs.timestamp_us.saturating_sub(state.arrival_us);
+                        if gap >= self.config.min_speed_gap_us
+                            && gap <= self.config.max_speed_gap_us
+                        {
+                            let dist = self.directory.distance_m(state.last_pole, obs.pole);
+                            let mph = caraoke_geom::mps_to_mph(dist / (gap as f64 / 1e6));
+                            if mph <= self.config.max_plausible_speed_mph {
+                                shard.agg.speeds.record(mph);
+                            }
+                        }
+                        state.prev_pole = state.last_pole.0;
+                        state.last_pole = obs.pole;
+                        state.arrival_us = obs.timestamp_us;
+                    }
+                    state.last_seen_us = state.last_seen_us.max(obs.timestamp_us);
+                    state.last_cycle = cycle;
+                    state.sightings += 1;
+                }
+            }
+        }
+    }
+
+    /// Applies every shard's buffered observations (in parallel across up to
+    /// `workers` threads) and merges all shard and segment state into one
+    /// [`CityAggregates`]. Deterministic for any `workers` / shard count.
+    pub fn finalize(&self, workers: usize) -> CityAggregates {
+        let workers = workers.max(1).min(self.tag_shards.len());
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let shards = &self.tag_shards;
+                scope.spawn(move || {
+                    for shard in shards.iter().skip(w).step_by(workers) {
+                        let mut guard = shard.lock().expect("tag shard");
+                        self.apply_shard(&mut guard);
+                    }
+                });
+            }
+        });
+        let mut out = CityAggregates::new();
+        for shard in &self.tag_shards {
+            out.merge(&shard.lock().expect("tag shard").agg);
+        }
+        for stripe in &self.segment_stripes {
+            for (&seg, stats) in stripe.lock().expect("segment stripe").iter() {
+                out.segments.entry(seg).or_default().merge(stats);
+            }
+        }
+        out
+    }
+
+    /// Number of distinct tags tracked (after `finalize`).
+    pub fn distinct_tags(&self) -> usize {
+        self.tag_shards
+            .iter()
+            .map(|s| s.lock().expect("tag shard").tags.len())
+            .sum()
+    }
+
+    /// Number of pole reports scattered so far.
+    pub fn reports(&self) -> u64 {
+        self.report_count.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_directory(n: usize, spacing: f64) -> PoleDirectory {
+        PoleDirectory::new(
+            (0..n)
+                .map(|i| PoleSite {
+                    segment: SegmentId((i / 4) as u16),
+                    position: Vec3::new(i as f64 * spacing, -5.0, 3.8),
+                })
+                .collect(),
+        )
+    }
+
+    fn obs(tag: u64, pole: u32, segment: u16, t_us: u64) -> TagObservation {
+        TagObservation {
+            tag: TagKey(tag),
+            pole: PoleId(pole),
+            segment: SegmentId(segment),
+            cfo_bin: (tag % 615) as u32,
+            cfo_hz: tag as f64 * 1953.125,
+            aoa_rad: 0.0,
+            has_aoa: false,
+            rssi_db: -40.0,
+            timestamp_us: t_us,
+            multi_occupied: false,
+        }
+    }
+
+    fn report(pole: u32, segment: u16, t_us: u64, observations: Vec<TagObservation>) -> PoleReport {
+        PoleReport {
+            pole: PoleId(pole),
+            segment: SegmentId(segment),
+            timestamp_us: t_us,
+            count: observations.len() as u32,
+            peaks: observations.len() as u32,
+            observations,
+        }
+    }
+
+    #[test]
+    fn resighting_produces_one_speed_sample_and_od_transition() {
+        let dir = line_directory(4, 30.0);
+        let store = ShardedStore::new(dir, StoreConfig::default());
+        // Tag 9 heard at pole 0, then 30 m downstream 2 s later: 15 m/s.
+        store.scatter(&report(0, 0, 0, vec![obs(9, 0, 0, 0)]));
+        store.scatter(&report(1, 0, 2_000_000, vec![obs(9, 1, 0, 2_000_000)]));
+        let agg = store.finalize(2);
+        assert_eq!(agg.observations, 2);
+        assert_eq!(agg.od.total(), 1);
+        assert_eq!(agg.speeds.samples(), 1);
+        let mph = agg.speeds.mean_mph();
+        assert!(
+            (mph - caraoke_geom::mps_to_mph(15.0)).abs() < 0.02,
+            "got {mph}"
+        );
+        assert_eq!(store.distinct_tags(), 1);
+        assert_eq!(store.reports(), 2);
+    }
+
+    #[test]
+    fn pingpong_between_overlapping_poles_is_suppressed() {
+        // A car in the overlap of two poles' coverage is reported by both
+        // every epoch; only the first A->B hand-off counts, and the speed
+        // comes from arrival-to-arrival timing, not the bounce cadence.
+        let store = ShardedStore::new(line_directory(3, 24.0), StoreConfig::default());
+        // Heard at pole 0 from t=0; enters pole 1 coverage at t=2s; both
+        // keep reporting it every second until t=5s.
+        store.scatter(&report(0, 0, 0, vec![obs(7, 0, 0, 0)]));
+        store.scatter(&report(0, 0, 1_000_000, vec![obs(7, 0, 0, 1_000_000)]));
+        for t in [2_000_000u64, 3_000_000, 4_000_000, 5_000_000] {
+            store.scatter(&report(0, 0, t, vec![obs(7, 0, 0, t)]));
+            store.scatter(&report(1, 0, t, vec![obs(7, 1, 0, t)]));
+        }
+        // Then it leaves pole 0 behind and reaches pole 2 at t=6s.
+        store.scatter(&report(2, 0, 6_000_000, vec![obs(7, 2, 0, 6_000_000)]));
+        let agg = store.finalize(2);
+        // Exactly two transitions (0->1 and 1->2), not one per bounce.
+        assert_eq!(agg.od.total(), 2);
+        assert_eq!(agg.od.transitions.get(&(0, 1)), Some(&1));
+        assert_eq!(agg.od.transitions.get(&(1, 2)), Some(&1));
+        // Speeds: 24 m in 2 s (arrival 0 -> arrival at pole 1) = 12 m/s and
+        // 24 m in 4 s (arrival pole 1 t=2s -> arrival pole 2 t=6s) = 6 m/s.
+        assert_eq!(agg.speeds.samples(), 2);
+        let expect = (caraoke_geom::mps_to_mph(12.0) + caraoke_geom::mps_to_mph(6.0)) / 2.0;
+        assert!((agg.speeds.mean_mph() - expect).abs() < 0.02);
+    }
+
+    #[test]
+    fn flow_pingpong_across_a_segment_boundary_is_suppressed() {
+        // Poles 3 (segment 0) and 4 (segment 1) have overlapping coverage; a
+        // stationary car in the overlap is reported by both every second for
+        // three 60 s light cycles. Flow must count it once per segment per
+        // cycle — not once per bounce, and not only in the first-sorted
+        // segment after a cycle rollover.
+        let store = ShardedStore::new(line_directory(8, 24.0), StoreConfig::default());
+        for t in 0..130u64 {
+            let t_us = t * 1_000_000;
+            store.scatter(&report(3, 0, t_us, vec![obs(11, 3, 0, t_us)]));
+            store.scatter(&report(4, 1, t_us, vec![obs(11, 4, 1, t_us)]));
+        }
+        let agg = store.finalize(2);
+        // Three cycles x two segments, one event each.
+        assert_eq!(agg.flow.total(), 6, "flow events: {:?}", agg.flow.per_cycle);
+        for seg in 0..2u16 {
+            for cycle in 0..3u32 {
+                assert_eq!(
+                    agg.flow.per_cycle.get(&(seg, cycle)),
+                    Some(&1),
+                    "segment {seg} cycle {cycle}"
+                );
+            }
+        }
+        // And the pole bounce itself stays a single hand-off.
+        assert_eq!(agg.od.total(), 1);
+    }
+
+    #[test]
+    fn same_pole_resighting_is_not_a_transition() {
+        let store = ShardedStore::new(line_directory(2, 25.0), StoreConfig::default());
+        store.scatter(&report(0, 0, 0, vec![obs(5, 0, 0, 0)]));
+        store.scatter(&report(0, 0, 1_500_000, vec![obs(5, 0, 0, 1_500_000)]));
+        let agg = store.finalize(1);
+        assert_eq!(agg.od.total(), 0);
+        assert_eq!(agg.speeds.samples(), 0);
+        assert_eq!(agg.observations, 2);
+    }
+
+    #[test]
+    fn stale_resightings_count_for_od_but_not_speed() {
+        let config = StoreConfig {
+            max_speed_gap_us: 10_000_000,
+            ..Default::default()
+        };
+        let store = ShardedStore::new(line_directory(3, 40.0), config);
+        store.scatter(&report(0, 0, 0, vec![obs(3, 0, 0, 0)]));
+        // Re-sighted 100 s later: a different trip.
+        store.scatter(&report(2, 0, 100_000_000, vec![obs(3, 2, 0, 100_000_000)]));
+        let agg = store.finalize(1);
+        assert_eq!(agg.od.total(), 1);
+        assert_eq!(agg.speeds.samples(), 0);
+    }
+
+    #[test]
+    fn segment_counters_fold_report_headlines() {
+        let store = ShardedStore::new(line_directory(8, 30.0), StoreConfig::default());
+        store.scatter(&report(0, 0, 0, vec![obs(1, 0, 0, 0), obs(2, 0, 0, 0)]));
+        store.scatter(&report(4, 1, 0, vec![obs(3, 4, 1, 0)]));
+        store.scatter(&report(5, 1, 1_000_000, vec![]));
+        let agg = store.finalize(4);
+        assert_eq!(agg.segments[&0].reports, 1);
+        assert_eq!(agg.segments[&0].sum_count, 2);
+        assert_eq!(agg.segments[&1].reports, 2);
+        assert_eq!(agg.segments[&1].peak_count, 1);
+    }
+
+    #[test]
+    fn aggregates_are_identical_for_any_shard_count_and_delivery_order() {
+        // Fixed synthetic observation set: 60 tags random-walking over 12
+        // poles for 20 epochs.
+        let mut reports = Vec::new();
+        for epoch in 0..20u64 {
+            for pole in 0..12u32 {
+                let mut observations = Vec::new();
+                for tag in 0..60u64 {
+                    // Deterministic pseudo-walk without an RNG.
+                    let here = ((tag * 7 + epoch * (1 + tag % 3)) % 12) as u32;
+                    if here == pole {
+                        observations.push(obs(tag, pole, (pole / 4) as u16, epoch * 1_000_000));
+                    }
+                }
+                reports.push(report(
+                    pole,
+                    (pole / 4) as u16,
+                    epoch * 1_000_000,
+                    observations,
+                ));
+            }
+        }
+        let mut fingerprints = Vec::new();
+        for &(shards, rotate) in &[(1usize, 0usize), (2, 17), (5, 3), (8, 101), (32, 59)] {
+            let config = StoreConfig {
+                shards,
+                segment_stripes: 1 + shards / 2,
+                ..Default::default()
+            };
+            let store = ShardedStore::new(line_directory(12, 30.0), config);
+            // Deliver in a different order each time.
+            for i in 0..reports.len() {
+                store.scatter(&reports[(i + rotate) % reports.len()]);
+            }
+            let agg = store.finalize(shards.min(4));
+            fingerprints.push((agg.fingerprint(), agg.observations, agg.speeds.samples()));
+        }
+        for pair in fingerprints.windows(2) {
+            assert_eq!(pair[0], pair[1], "aggregates must not depend on sharding");
+        }
+        assert!(fingerprints[0].2 > 0, "walk must produce speed samples");
+    }
+}

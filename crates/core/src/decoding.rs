@@ -309,7 +309,10 @@ mod tests {
     fn decoding_with_no_queries_fails() {
         let config = ReaderConfig::default();
         let err = decode_target(&[], 0, 500e3, &config).unwrap_err();
-        assert!(matches!(err, CaraokeError::DecodeFailed { queries_used: 0 }));
+        assert!(matches!(
+            err,
+            CaraokeError::DecodeFailed { queries_used: 0 }
+        ));
     }
 
     #[test]

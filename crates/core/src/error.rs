@@ -31,7 +31,10 @@ pub enum CaraokeError {
 impl std::fmt::Display for CaraokeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CaraokeError::NotEnoughAntennas { required, available } => write!(
+            CaraokeError::NotEnoughAntennas {
+                required,
+                available,
+            } => write!(
                 f,
                 "operation requires {required} antennas but the signal has {available}"
             ),
@@ -39,7 +42,10 @@ impl std::fmt::Display for CaraokeError {
             CaraokeError::UnknownPeak(idx) => write!(f, "peak index {idx} does not exist"),
             CaraokeError::Aoa(e) => write!(f, "AoA estimation failed: {e}"),
             CaraokeError::DecodeFailed { queries_used } => {
-                write!(f, "failed to decode a CRC-valid id after {queries_used} queries")
+                write!(
+                    f,
+                    "failed to decode a CRC-valid id after {queries_used} queries"
+                )
             }
             CaraokeError::NoFix => write!(f, "two-reader localization found no on-road solution"),
             CaraokeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
@@ -74,6 +80,9 @@ mod tests {
     #[test]
     fn aoa_error_converts() {
         let e: CaraokeError = caraoke_geom::AoaError::PhaseOutOfRange.into();
-        assert_eq!(e, CaraokeError::Aoa(caraoke_geom::AoaError::PhaseOutOfRange));
+        assert_eq!(
+            e,
+            CaraokeError::Aoa(caraoke_geom::AoaError::PhaseOutOfRange)
+        );
     }
 }

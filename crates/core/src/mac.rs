@@ -9,9 +9,7 @@
 //! medium stayed idle; no contention window is needed because query–query
 //! collisions are acceptable.
 
-use caraoke_phy::timing::{
-    CARRIER_SENSE_S, QUERY_DURATION_S, RESPONSE_DURATION_S, TURNAROUND_S,
-};
+use caraoke_phy::timing::{CARRIER_SENSE_S, QUERY_DURATION_S, RESPONSE_DURATION_S, TURNAROUND_S};
 
 /// Kind of an on-air transmission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,10 +138,7 @@ pub fn harmful_collisions(medium: &[Transmission]) -> usize {
             continue;
         }
         for b in medium.iter().skip(i + 1).chain(medium.iter().take(i)) {
-            if b.kind == TransmissionKind::Response
-                && b.reader_id != a.reader_id
-                && a.overlaps(b)
-            {
+            if b.kind == TransmissionKind::Response && b.reader_id != a.reader_id && a.overlaps(b) {
                 count += 1;
             }
         }
@@ -235,7 +230,10 @@ mod tests {
         medium.push(q2);
         medium.push(r2);
         assert_eq!(harmful_collisions(&medium), 0);
-        assert!(q2.start >= r1.end, "second query must wait out the response");
+        assert!(
+            q2.start >= r1.end,
+            "second query must wait out the response"
+        );
     }
 
     #[test]

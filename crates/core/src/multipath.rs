@@ -67,10 +67,7 @@ pub fn multipath_profile(
     if samples.is_empty() || azimuths_deg.is_empty() {
         return vec![0.0; azimuths_deg.len()];
     }
-    let center = samples
-        .iter()
-        .fold(Vec3::ZERO, |acc, s| acc + s.position)
-        / samples.len() as f64;
+    let center = samples.iter().fold(Vec3::ZERO, |acc, s| acc + s.position) / samples.len() as f64;
     let mut powers: Vec<f64> = azimuths_deg
         .iter()
         .map(|&az| {
@@ -106,7 +103,11 @@ pub fn dominant_peak_ratio(profile: &[f64], min_separation: usize) -> f64 {
     let mut maxima: Vec<(usize, f64)> = Vec::new();
     for i in 0..profile.len() {
         let left = if i == 0 { 0.0 } else { profile[i - 1] };
-        let right = if i + 1 == profile.len() { 0.0 } else { profile[i + 1] };
+        let right = if i + 1 == profile.len() {
+            0.0
+        } else {
+            profile[i + 1]
+        };
         if profile[i] >= left && profile[i] >= right && profile[i] > 0.0 {
             maxima.push((i, profile[i]));
         }
@@ -168,7 +169,10 @@ mod tests {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap()
             .0];
-        assert!((best - true_az).abs() <= 3.0, "peak at {best}, expected {true_az}");
+        assert!(
+            (best - true_az).abs() <= 3.0,
+            "peak at {best}, expected {true_az}"
+        );
     }
 
     #[test]
@@ -206,7 +210,10 @@ mod tests {
         }
         let profile = multipath_profile(&samples, CARRIER_WAVELENGTH_M, &default_azimuth_grid());
         let ratio = dominant_peak_ratio(&profile, 10);
-        assert!(ratio < 3.0, "two equal sources should give ratio near 1, got {ratio}");
+        assert!(
+            ratio < 3.0,
+            "two equal sources should give ratio near 1, got {ratio}"
+        );
     }
 
     #[test]

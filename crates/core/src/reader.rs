@@ -143,7 +143,9 @@ mod tests {
                 .iter()
                 .find(|t| (t.cfo() - est.cfo_hz).abs() < 2.0 * report.spectrum.bin_resolution)
                 .unwrap();
-            let truth = reader.array().true_angle(est.pair.0, est.pair.1, tag.position);
+            let truth = reader
+                .array()
+                .true_angle(est.pair.0, est.pair.1, tag.position);
             assert!((est.angle_rad - truth).to_degrees().abs() < 4.0);
         }
     }

@@ -79,7 +79,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn array_at(pole: Vec3) -> AntennaArray {
-        AntennaArray::from_geometry(pole, Vec3::new(0.0, 1.0, 0.0), ArrayGeometry::default_pair())
+        AntennaArray::from_geometry(
+            pole,
+            Vec3::new(0.0, 1.0, 0.0),
+            ArrayGeometry::default_pair(),
+        )
     }
 
     /// Localizes a single tag at `car` using two poles and returns the AoA

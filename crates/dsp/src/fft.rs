@@ -76,7 +76,7 @@ fn transform(data: &mut [Complex], inverse: bool) {
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        let j = i.reverse_bits() >> (usize::BITS - bits);
         if j > i {
             data.swap(i, j);
         }
@@ -256,7 +256,9 @@ mod tests {
     fn fft_is_linear() {
         let n = 64;
         let x: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, 0.0)).collect();
-        let y: Vec<Complex> = (0..n).map(|i| Complex::new(0.0, (i * i % 7) as f64)).collect();
+        let y: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(0.0, (i * i % 7) as f64))
+            .collect();
         let sum: Vec<Complex> = x.iter().zip(y.iter()).map(|(a, b)| *a + *b).collect();
         let fx = fft(&x);
         let fy = fft(&y);
@@ -298,7 +300,9 @@ mod tests {
 
     #[test]
     fn circular_shift_full_length_is_identity() {
-        let x: Vec<Complex> = (0..8).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let x: Vec<Complex> = (0..8)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect();
         assert_eq!(circular_shift(&x, 8), x);
         assert_eq!(circular_shift(&x, 0), x);
     }

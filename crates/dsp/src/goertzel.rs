@@ -68,9 +68,7 @@ mod tests {
         let n = 512;
         let k_true = 40.37;
         let x: Vec<Complex> = (0..n)
-            .map(|i| {
-                Complex::from_angle(2.0 * std::f64::consts::PI * k_true * i as f64 / n as f64)
-            })
+            .map(|i| Complex::from_angle(2.0 * std::f64::consts::PI * k_true * i as f64 / n as f64))
             .collect();
         let exact = goertzel_bin(&x, k_true).abs();
         let below = goertzel_bin(&x, 40.0).abs();

@@ -86,7 +86,7 @@ pub fn detect_peaks(magnitudes: &[f64], config: &PeakConfig) -> Vec<Peak> {
         let m = region[i];
         // Cheap pre-filter against the global floor before paying for a local
         // median.
-        if m < global_floor * config.threshold_over_noise.min(1.0).max(0.0) {
+        if m < global_floor * config.threshold_over_noise.clamp(0.0, 1.0) {
             continue;
         }
         let left = if i == 0 { 0.0 } else { region[i - 1] };

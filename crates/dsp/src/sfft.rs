@@ -89,8 +89,7 @@ impl SparseFft {
         if n == 0 {
             return Vec::new();
         }
-        let mut candidates =
-            self.candidates_for_subsampling(signal, self.config.subsample_a);
+        let mut candidates = self.candidates_for_subsampling(signal, self.config.subsample_a);
         candidates.extend(self.candidates_for_subsampling(signal, self.config.subsample_b));
         candidates.sort_unstable();
         candidates.dedup();
@@ -143,7 +142,10 @@ impl SparseFft {
     /// starting at `offset`.
     fn bucket_spectrum(&self, signal: &[Complex], d: usize, offset: usize) -> Vec<Complex> {
         let n = signal.len();
-        assert!(d > 0 && n % d == 0, "subsampling factor must divide length");
+        assert!(
+            d > 0 && n.is_multiple_of(d),
+            "subsampling factor must divide length"
+        );
         let m = n / d;
         assert!(
             crate::fft::is_power_of_two(m),
@@ -222,7 +224,13 @@ mod tests {
     #[test]
     fn recovers_five_separated_tones() {
         let n = 2048;
-        let bins = [(51usize, 1.0), (160, 0.8), (333, 1.2), (480, 0.9), (601, 1.1)];
+        let bins = [
+            (51usize, 1.0),
+            (160, 0.8),
+            (333, 1.2),
+            (480, 0.9),
+            (601, 1.1),
+        ];
         let sig = tones(n, &bins);
         let peaks = SparseFft::with_defaults().analyze(&sig);
         let got: Vec<usize> = peaks.iter().map(|p| p.bin).collect();

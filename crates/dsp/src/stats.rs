@@ -62,7 +62,11 @@ pub fn rms(values: &[f64]) -> f64 {
 
 /// Maximum value (0.0 for empty input).
 pub fn max(values: &[f64]) -> f64 {
-    values.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+    values
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(0.0)
 }
 
 /// A summary of a set of measurements: mean, standard deviation, median,

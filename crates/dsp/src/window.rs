@@ -105,7 +105,7 @@ mod tests {
             WindowKind::Blackman,
         ] {
             for &x in &window(kind, 101) {
-                assert!(x <= 1.0 + 1e-12 && x >= -1e-12);
+                assert!((-1e-12..=1.0 + 1e-12).contains(&x));
             }
         }
     }

@@ -24,9 +24,14 @@ impl std::fmt::Display for AoaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AoaError::PhaseOutOfRange => {
-                write!(f, "phase difference outside the range allowed by the antenna spacing")
+                write!(
+                    f,
+                    "phase difference outside the range allowed by the antenna spacing"
+                )
             }
-            AoaError::InvalidGeometry => write!(f, "antenna spacing and wavelength must be positive"),
+            AoaError::InvalidGeometry => {
+                write!(f, "antenna spacing and wavelength must be positive")
+            }
         }
     }
 }
@@ -133,7 +138,11 @@ mod tests {
     fn out_of_range_phase_is_rejected_for_wide_spacing() {
         // With spacing = 2λ a phase of ~π corresponds to cos α = 0.25, fine;
         // but with spacing = λ/4, a (wrapped) phase of π gives cos α = 2 -> error.
-        let err = phase_diff_to_angle(std::f64::consts::PI, CARRIER_WAVELENGTH_M / 4.0, CARRIER_WAVELENGTH_M);
+        let err = phase_diff_to_angle(
+            std::f64::consts::PI,
+            CARRIER_WAVELENGTH_M / 4.0,
+            CARRIER_WAVELENGTH_M,
+        );
         assert_eq!(err, Err(AoaError::PhaseOutOfRange));
     }
 

@@ -90,12 +90,7 @@ pub fn paper_speed_error_bound(speed_mph: f64) -> f64 {
         feet_to_meters(12.0),
         60.0_f64.to_radians(),
     );
-    speed_error_bound(
-        mph_to_mps(speed_mph),
-        feet_to_meters(360.0),
-        pos_err,
-        0.1,
-    )
+    speed_error_bound(mph_to_mps(speed_mph), feet_to_meters(360.0), pos_err, 0.1)
 }
 
 #[cfg(test)]

@@ -117,10 +117,7 @@ impl AntennaArray {
 
     /// Geometric centre of the array.
     pub fn center(&self) -> Vec3 {
-        let sum = self
-            .elements
-            .iter()
-            .fold(Vec3::ZERO, |acc, &e| acc + e);
+        let sum = self.elements.iter().fold(Vec3::ZERO, |acc, &e| acc + e);
         sum / self.elements.len() as f64
     }
 
@@ -202,7 +199,10 @@ mod tests {
         let zs: Vec<f64> = arr.elements().iter().map(|e| e.z).collect();
         let spread = zs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - zs.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(spread > 0.05, "tilt should spread element heights, got {spread}");
+        assert!(
+            spread > 0.05,
+            "tilt should spread element heights, got {spread}"
+        );
     }
 
     #[test]

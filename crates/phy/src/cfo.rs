@@ -105,7 +105,10 @@ mod tests {
             .collect();
         let mean = caraoke_dsp::mean(&carriers);
         let sd = caraoke_dsp::std_dev(&carriers);
-        assert!((mean - EMPIRICAL_MEAN_CARRIER_HZ).abs() < 5e3, "mean {mean}");
+        assert!(
+            (mean - EMPIRICAL_MEAN_CARRIER_HZ).abs() < 5e3,
+            "mean {mean}"
+        );
         // Clamping trims the tails slightly, so allow a little shrinkage.
         assert!((sd - EMPIRICAL_STD_CARRIER_HZ).abs() < 0.02e6, "sd {sd}");
         assert!(carriers

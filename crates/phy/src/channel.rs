@@ -143,7 +143,10 @@ mod tests {
         let h1 = model.channel(tx, Vec3::new(d1, 0.0, 0.0));
         let h2 = model.channel(tx, Vec3::new(d2, 0.0, 0.0));
         let dphi = caraoke_geom::wrap_phase(h2.phase() - h1.phase());
-        assert!((dphi + std::f64::consts::FRAC_PI_2).abs() < 1e-6, "got {dphi}");
+        assert!(
+            (dphi + std::f64::consts::FRAC_PI_2).abs() < 1e-6,
+            "got {dphi}"
+        );
     }
 
     #[test]

@@ -198,8 +198,7 @@ mod tests {
         assert_eq!(peaks.len(), tags.len(), "expected one peak per tag");
         // Each peak should be within a couple of bins of a tag CFO.
         for tag in &tags {
-            let expected_bin =
-                (tag.cfo() / cfg.bin_resolution()).round() as usize;
+            let expected_bin = (tag.cfo() / cfg.bin_resolution()).round() as usize;
             assert!(
                 peaks.iter().any(|p| p.bin.abs_diff(expected_bin) <= 2),
                 "no peak near bin {expected_bin}"

@@ -63,7 +63,7 @@ impl SignalConfig {
                 "response window of {n} samples is not a power of two; pick a sample rate of the form 2^k / 512us"
             ));
         }
-        if self.samples_per_bit() % 2 != 0 {
+        if !self.samples_per_bit().is_multiple_of(2) {
             return Err("samples per bit must be even (two Manchester chips)".into());
         }
         if self.samples_per_bit() * RESPONSE_BITS != n {

@@ -29,7 +29,7 @@ pub fn manchester_encode(bits: &[u8]) -> Vec<u8> {
 /// chip, which is the maximum-likelihood choice after soft averaging.
 /// Returns `None` if the chip count is odd.
 pub fn manchester_decode(chips: &[u8]) -> Option<Vec<u8>> {
-    if chips.len() % 2 != 0 {
+    if !chips.len().is_multiple_of(2) {
         return None;
     }
     Some(
@@ -50,7 +50,7 @@ pub fn ook_baseband(chips: &[u8], samples_per_chip: usize) -> Vec<f64> {
     let mut out = Vec::with_capacity(chips.len() * samples_per_chip);
     for &c in chips {
         let level = if c & 1 == 1 { 1.0 } else { 0.0 };
-        out.extend(std::iter::repeat(level).take(samples_per_chip));
+        out.extend(std::iter::repeat_n(level, samples_per_chip));
     }
     out
 }

@@ -109,7 +109,9 @@ mod tests {
     #[test]
     fn complex_gaussian_is_circularly_symmetric() {
         let mut rng = StdRng::seed_from_u64(3);
-        let samples: Vec<Complex> = (0..20_000).map(|_| complex_gaussian(&mut rng, 0.5)).collect();
+        let samples: Vec<Complex> = (0..20_000)
+            .map(|_| complex_gaussian(&mut rng, 0.5))
+            .collect();
         let re: Vec<f64> = samples.iter().map(|c| c.re).collect();
         let im: Vec<f64> = samples.iter().map(|c| c.im).collect();
         assert!((caraoke_dsp::std_dev(&re) - 0.5).abs() < 0.02);
@@ -136,7 +138,10 @@ mod tests {
         let noise: Vec<Complex> = (0..n).map(|_| complex_gaussian(&mut rng, sigma)).collect();
         let noise_power: f64 = noise.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
         let measured_snr_db = 10.0 * (signal_rms * signal_rms / noise_power).log10();
-        assert!((measured_snr_db - snr_db).abs() < 0.2, "got {measured_snr_db}");
+        assert!(
+            (measured_snr_db - snr_db).abs() < 0.2,
+            "got {measured_snr_db}"
+        );
     }
 
     #[test]
@@ -146,7 +151,10 @@ mod tests {
             let n = 5000;
             let total: u64 = (0..n).map(|_| poisson(&mut rng, mean)).sum();
             let emp = total as f64 / n as f64;
-            assert!((emp - mean).abs() < mean.max(1.0) * 0.1, "mean {mean}: got {emp}");
+            assert!(
+                (emp - mean).abs() < mean.max(1.0) * 0.1,
+                "mean {mean}: got {emp}"
+            );
         }
         assert_eq!(poisson(&mut rng, 0.0), 0);
     }

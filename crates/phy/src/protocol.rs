@@ -64,7 +64,8 @@ impl TransponderPacket {
     /// Convenience constructor deriving deterministic agency/factory fields
     /// from the id (useful for simulations where only the id matters).
     pub fn from_id(id: TransponderId) -> Self {
-        let agency = (id.0 as u128).wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((1u128 << AGENCY_BITS) - 1);
+        let agency =
+            (id.0 as u128).wrapping_mul(0x9E37_79B9_7F4A_7C15) & ((1u128 << AGENCY_BITS) - 1);
         let factory =
             (id.0 as u128).wrapping_mul(0xC2B2_AE3D_27D4_EB4F) & ((1u128 << FACTORY_BITS) - 1);
         Self::new(id, agency, factory)
@@ -109,10 +110,7 @@ impl TransponderPacket {
             &payload[PROGRAMMABLE_BITS..PROGRAMMABLE_BITS + AGENCY_BITS],
             AGENCY_BITS,
         );
-        let factory = read_bits(
-            &payload[PROGRAMMABLE_BITS + AGENCY_BITS..],
-            FACTORY_BITS,
-        );
+        let factory = read_bits(&payload[PROGRAMMABLE_BITS + AGENCY_BITS..], FACTORY_BITS);
         Some(Self {
             id: TransponderId(id),
             agency,

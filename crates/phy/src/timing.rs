@@ -55,7 +55,8 @@ mod tests {
 
     #[test]
     fn response_fits_within_query_period() {
-        assert!(QUERY_DURATION_S + TURNAROUND_S + RESPONSE_DURATION_S < QUERY_PERIOD_S);
+        let busy = QUERY_DURATION_S + TURNAROUND_S + RESPONSE_DURATION_S;
+        assert!(busy < QUERY_PERIOD_S);
     }
 
     #[test]

@@ -44,8 +44,8 @@ impl Battery {
     /// Adds harvested energy, returning the energy actually stored (losses
     /// and overflow excluded).
     pub fn charge(&mut self, energy_j: f64) -> f64 {
-        let stored = (energy_j.max(0.0) * self.charge_efficiency)
-            .min(self.capacity_j - self.charge_j);
+        let stored =
+            (energy_j.max(0.0) * self.charge_efficiency).min(self.capacity_j - self.charge_j);
         self.charge_j += stored;
         stored
     }

@@ -7,7 +7,7 @@ use crate::profile::PowerProfile;
 use crate::solar::{DiurnalProfile, SolarPanel};
 
 /// The complete energy budget of one reader.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyBudget {
     /// Board power profile.
     pub profile: PowerProfile,
@@ -15,16 +15,6 @@ pub struct EnergyBudget {
     pub duty_cycle: DutyCycle,
     /// Solar panel.
     pub panel: SolarPanel,
-}
-
-impl Default for EnergyBudget {
-    fn default() -> Self {
-        Self {
-            profile: PowerProfile::paper_measured(),
-            duty_cycle: DutyCycle::paper_default(),
-            panel: SolarPanel::paper_panel(),
-        }
-    }
 }
 
 /// Result of an endurance simulation.
@@ -49,10 +39,7 @@ impl EnergyBudget {
     /// Ratio of peak solar harvest to average consumption — the "56×" of
     /// §12.5.
     pub fn harvest_margin(&self) -> f64 {
-        self.average_consumption_w()
-            .max(f64::MIN_POSITIVE)
-            .recip()
-            * self.panel.peak_output_w()
+        self.average_consumption_w().max(f64::MIN_POSITIVE).recip() * self.panel.peak_output_w()
     }
 
     /// How long (hours) the energy harvested during `sun_hours` hours of full
@@ -161,11 +148,8 @@ mod tests {
             ..Default::default()
         };
         assert!(b.harvest_margin() < 1.0);
-        let report = b.simulate_endurance(
-            Battery::small_lithium(),
-            DiurnalProfile::clear(4.0),
-            24 * 7,
-        );
+        let report =
+            b.simulate_endurance(Battery::small_lithium(), DiurnalProfile::clear(4.0), 24 * 7);
         assert!(!report.survived_horizon);
     }
 }

@@ -85,7 +85,11 @@ mod tests {
     #[test]
     fn paper_panel_delivers_about_half_a_watt() {
         let p = SolarPanel::paper_panel();
-        assert!((p.peak_output_w() - 0.5).abs() < 0.01, "got {}", p.peak_output_w());
+        assert!(
+            (p.peak_output_w() - 0.5).abs() < 0.01,
+            "got {}",
+            p.peak_output_w()
+        );
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! # proptest (offline shim)
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! implements the small slice of the real `proptest` API the workspace uses:
+//! the [`proptest!`] macro, [`prop_assert!`] / [`prop_assert_eq!`], ranges and
+//! tuples as [`Strategy`]s, [`any`], and `prop::collection::vec`.
+//!
+//! Differences from upstream: cases are drawn from a fixed seed (fully
+//! deterministic runs) and failing inputs are reported but not *shrunk*.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Re-export so the macros can name the generator without requiring the
+/// caller to depend on `rand` directly.
+pub use rand;
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Number of random cases each `proptest!` test runs.
+pub const NUM_CASES: usize = 256;
+
+/// Seed for the deterministic case stream.
+pub const CASE_SEED: u64 = 0x5EED_CA5E;
+
+/// Error returned (via `prop_assert!`) from a failing test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<String> for TestCaseError {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+impl From<&str> for TestCaseError {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+/// A generator of random values for one `proptest!` argument.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let a = self.0.generate(rng);
+        let b = self.1.generate(rng);
+        (a, b)
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let a = self.0.generate(rng);
+        let b = self.1.generate(rng);
+        let c = self.2.generate(rng);
+        (a, b, c)
+    }
+}
+
+/// Strategy for "any value of `T`" (full-range integers, unit-range floats).
+pub struct Any<T>(PhantomData<T>);
+
+/// Returns the [`Any`] strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: rand::SampleStandard> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random()
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// Element count for [`vec`]: exact or sampled from a range.
+    #[derive(Debug, Clone)]
+    pub enum SizeRange {
+        /// Exactly this many elements.
+        Exact(usize),
+        /// Uniformly sampled from `[start, end)`.
+        Between(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Exact(n)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange::Between(r.start, r.end)
+        }
+    }
+
+    /// Strategy producing `Vec`s of `elem`-generated values.
+    pub struct VecStrategy<S: Strategy> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Builds a [`VecStrategy`], mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = match self.size {
+                SizeRange::Exact(n) => n,
+                SizeRange::Between(lo, hi) => rng.random_range(lo..hi),
+            };
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Strategy, TestCaseError};
+
+    /// The `prop` path alias (`prop::collection::vec`, ...).
+    pub use crate as prop;
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each test body runs [`NUM_CASES`] times with deterministic random inputs;
+/// `prop_assert!`-family failures abort with the case number and input seed.
+#[macro_export]
+macro_rules! proptest {
+    ($( #[$attr:meta] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block )*) => {
+        $(
+            #[$attr]
+            fn $name() {
+                use $crate::rand::SeedableRng as _;
+                let mut rng =
+                    $crate::rand::rngs::StdRng::seed_from_u64($crate::CASE_SEED);
+                for case in 0..$crate::NUM_CASES {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!("proptest {} failed at case {}/{}: {}",
+                               stringify!($name), case + 1, $crate::NUM_CASES, e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (with formatted context) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::from(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..10, f in -1.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_sizes_follow_request(
+            fixed in prop::collection::vec(0u8..2, 16),
+            ranged in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..8),
+        ) {
+            prop_assert_eq!(fixed.len(), 16);
+            prop_assert!(!ranged.is_empty() && ranged.len() < 8);
+            prop_assert!(fixed.iter().all(|&b| b < 2));
+        }
+
+        #[test]
+        fn any_produces_varied_values(a in any::<u64>(), b in any::<u128>()) {
+            // Not a real statistical test; just exercise the code path.
+            prop_assert!(a as u128 != b || a == 0);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_case_number() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #[allow(unused)]
+                fn always_fails(x in 0u8..8) {
+                    prop_assert!(x > 200, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("failed at case 1/"), "got: {msg}");
+    }
+}

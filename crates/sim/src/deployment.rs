@@ -60,11 +60,7 @@ impl Pole {
         propagation: &PropagationModel,
         rng: &mut R,
     ) -> CollisionSignal {
-        let in_range: Vec<Transponder> = self
-            .tags_in_range(tags)
-            .into_iter()
-            .cloned()
-            .collect();
+        let in_range: Vec<Transponder> = self.tags_in_range(tags).into_iter().cloned().collect();
         synthesize_collision(
             &in_range,
             self.reader.array(),
@@ -147,6 +143,9 @@ mod tests {
         let near_side = Pole::new("a", 0.0, -5.0, 3.8, ArrayGeometry::default_triangle());
         let far_side = Pole::new("b", 0.0, 5.0, 3.8, ArrayGeometry::default_triangle());
         // Arrays differ because the tilt leans towards the road.
-        assert_ne!(near_side.reader.array().elements(), far_side.reader.array().elements());
+        assert_ne!(
+            near_side.reader.array().elements(),
+            far_side.reader.array().elements()
+        );
     }
 }

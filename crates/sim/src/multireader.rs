@@ -115,7 +115,11 @@ mod tests {
         let report = simulate_readers(3, 20.0, 2.0, &CsmaMac::default(), &mut rng);
         // Each exchange is ~632 us; with modest load the average deferral
         // should stay well under 10 ms.
-        assert!(report.mean_access_delay_s < 0.01, "delay {}", report.mean_access_delay_s);
+        assert!(
+            report.mean_access_delay_s < 0.01,
+            "delay {}",
+            report.mean_access_delay_s
+        );
     }
 
     #[test]

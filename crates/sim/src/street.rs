@@ -61,8 +61,8 @@ impl Street {
     /// Total paved width (travel lanes plus parking strips).
     pub fn width(&self) -> f64 {
         let travel = 2.0 * self.lanes_per_direction as f64 * LANE_WIDTH_M;
-        let parking = (self.parking_near_side as u32 + self.parking_far_side as u32) as f64
-            * LANE_WIDTH_M;
+        let parking =
+            (self.parking_near_side as u32 + self.parking_far_side as u32) as f64 * LANE_WIDTH_M;
         travel + parking
     }
 

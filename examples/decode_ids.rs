@@ -36,7 +36,13 @@ fn main() {
             .collect();
         let queries: Vec<_> = (0..48)
             .map(|_| {
-                synthesize_collision(&tags, reader.array(), &model, &reader.config().signal, &mut rng)
+                synthesize_collision(
+                    &tags,
+                    reader.array(),
+                    &model,
+                    &reader.config().signal,
+                    &mut rng,
+                )
             })
             .collect();
 

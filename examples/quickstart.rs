@@ -29,7 +29,12 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, &(x, y))| {
-            Transponder::with_id(1000 + i as u64, Vec3::new(x, y, 1.2), CfoModel::Empirical, &mut rng)
+            Transponder::with_id(
+                1000 + i as u64,
+                Vec3::new(x, y, 1.2),
+                CfoModel::Empirical,
+                &mut rng,
+            )
         })
         .collect();
     let model = PropagationModel::line_of_sight();
@@ -43,7 +48,11 @@ fn main() {
         &mut rng,
     );
     let report = reader.process_query(&collision).expect("query");
-    println!("counted {} transponders (truth: {})", report.count.count, tags.len());
+    println!(
+        "counted {} transponders (truth: {})",
+        report.count.count,
+        tags.len()
+    );
     for est in &report.aoa {
         println!(
             "  spike at CFO {:.1} kHz -> angle of arrival {:.1} deg",
@@ -55,7 +64,13 @@ fn main() {
     // Repeated queries -> decode every id despite the collisions.
     let queries: Vec<_> = (0..32)
         .map(|_| {
-            synthesize_collision(&tags, reader.array(), &model, &reader.config().signal, &mut rng)
+            synthesize_collision(
+                &tags,
+                reader.array(),
+                &model,
+                &reader.config().signal,
+                &mut rng,
+            )
         })
         .collect();
     for result in reader.decode_everyone(&queries).expect("decode") {
@@ -64,7 +79,10 @@ fn main() {
                 "  decoded {} after {} queries ({:.1} ms)",
                 outcome.packet.id, outcome.queries_used, outcome.identification_time_ms
             ),
-            Err(e) => println!("  a tag near {:.1} kHz failed to decode: {e}", result.cfo_hz / 1e3),
+            Err(e) => println!(
+                "  a tag near {:.1} kHz failed to decode: {e}",
+                result.cfo_hz / 1e3
+            ),
         }
     }
 }

@@ -1,0 +1,78 @@
+//! End-to-end test of the city subsystem: `caraoke-sim` streets and vehicles
+//! → per-pole PHY collisions → `caraoke::CaraokeReader` → `caraoke-city`
+//! ingestion, aggregation and analytics.
+
+use caraoke_suite::city::{BatchDriver, PhyCity, SegmentId, StoreConfig};
+
+fn driver(workers: usize, shards: usize) -> BatchDriver {
+    BatchDriver {
+        workers,
+        consumers: 2,
+        queue_capacity: 32,
+        store: StoreConfig {
+            shards,
+            ..Default::default()
+        },
+    }
+}
+
+#[test]
+fn sim_to_reader_to_city_produces_coherent_analytics() {
+    // Four campus streets x 3 poles, 15 query epochs of real PHY collisions.
+    let city = PhyCity::campus(3, 15, 8);
+    let run = driver(4, 8).run(&city);
+
+    // Every pole reported every epoch.
+    assert_eq!(run.reports, 12 * 15);
+    assert!(run.observations > 0, "poles must hear tags");
+
+    // Occupancy: street A (segment 0) has 2 parked + up to 2 driving cars in
+    // range of its poles; its mean simultaneous occupancy must reflect the
+    // parked baseline and never exceed the deployment's tag population.
+    let seg_a = &run.aggregates.segments[&0];
+    assert!(seg_a.reports > 0);
+    assert!(
+        seg_a.mean_occupancy() >= 1.0,
+        "street A parked cars must show up (mean {})",
+        seg_a.mean_occupancy()
+    );
+    assert!(seg_a.peak_count as usize <= city.n_tags());
+
+    // Street C (segment 2) has no parking: only through traffic.
+    let seg_c = &run.aggregates.segments[&2];
+    assert!(seg_c.peak_count <= 3, "street C peak {}", seg_c.peak_count);
+
+    // Through cars cross consecutive poles => OD transitions and speed
+    // samples from cross-pole re-sightings.
+    assert!(run.aggregates.od.total() > 0, "no OD transitions recorded");
+    assert!(
+        run.aggregates.speeds.samples() > 0,
+        "no speed samples from cross-pole fixes"
+    );
+    // The deployment drives 24-35 mph; allow generous AoA/teleport slack but
+    // insist the median is road-plausible.
+    let p50 = run.aggregates.speeds.percentile_mph(50.0);
+    assert!((5.0..=80.0).contains(&p50), "median speed {p50} mph");
+
+    // Flow: every street sees at least one vehicle per run.
+    for seg in 0..4u16 {
+        assert!(
+            run.aggregates.flow.mean_flow(SegmentId(seg)) > 0.0,
+            "street {seg} saw no flow"
+        );
+    }
+}
+
+#[test]
+fn phy_pipeline_aggregates_are_shard_and_worker_invariant() {
+    let city = PhyCity::campus(2, 8, 21);
+    let a = driver(1, 1).run(&city);
+    let b = driver(4, 8).run(&city);
+    let c = driver(3, 5).run(&city);
+    assert_eq!(
+        a.aggregates, b.aggregates,
+        "worker/shard counts changed results"
+    );
+    assert_eq!(a.aggregates.fingerprint(), c.aggregates.fingerprint());
+    assert_eq!(a.observations, b.observations);
+}

@@ -37,7 +37,13 @@ fn count_localize_and_decode_one_collision_set() {
     let model = PropagationModel::line_of_sight();
     let queries: Vec<_> = (0..48)
         .map(|_| {
-            synthesize_collision(&tags, reader.array(), &model, &reader.config().signal, &mut rng)
+            synthesize_collision(
+                &tags,
+                reader.array(),
+                &model,
+                &reader.config().signal,
+                &mut rng,
+            )
         })
         .collect();
 
@@ -114,7 +120,10 @@ fn identification_time_grows_with_density() {
     let mut rng = StdRng::seed_from_u64(1004);
     let t1 = DecodingScenario::new(1).run(&mut rng).expect("1 tag");
     let t6 = DecodingScenario::new(6).run(&mut rng).expect("6 tags");
-    assert!(t1 <= t6, "decoding should not get faster with more colliders");
+    assert!(
+        t1 <= t6,
+        "decoding should not get faster with more colliders"
+    );
 }
 
 #[test]

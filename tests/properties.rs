@@ -1,11 +1,15 @@
 //! Workspace-level property-based tests (proptest) on the core invariants:
-//! FFT round trips, packet round trips, AoA round trips, and the counting
-//! rule.
+//! FFT round trips, packet round trips, AoA round trips, the counting rule,
+//! and the city layer's shard-count invariance.
 
 use caraoke_dsp::{fft, ifft, Complex};
 use caraoke_geom::{angle_to_phase_diff, phase_diff_to_angle, CARRIER_WAVELENGTH_M};
 use caraoke_phy::modulation::{manchester_decode, manchester_encode};
 use caraoke_phy::protocol::{TransponderId, TransponderPacket};
+use caraoke_suite::city::{
+    PoleDirectory, PoleId, PoleReport, PoleSite, SegmentId, ShardedStore, StoreConfig, TagKey,
+    TagObservation,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -82,5 +86,64 @@ proptest! {
         let b1 = caraoke_geom::speed_error_bound(v1, 110.0, 2.6, 0.1);
         let b2 = caraoke_geom::speed_error_bound(v1 + dv, 110.0, 2.6, 0.1);
         prop_assert!(b2 >= b1);
+    }
+
+    #[test]
+    fn city_aggregates_are_shard_count_invariant(
+        // Random sightings: (tag, pole, epoch) triples over a 10-pole strip.
+        sightings in prop::collection::vec((0u64..24, 0u32..10, 0u64..30), 1..200),
+        shards in 2usize..16,
+    ) {
+        // Same seed (here: the same observation multiset) must yield
+        // byte-identical aggregates for 1 shard and for N shards.
+        let directory = || PoleDirectory::new(
+            (0..10)
+                .map(|i| PoleSite {
+                    segment: SegmentId((i / 5) as u16),
+                    position: caraoke_geom::Vec3::new(i as f64 * 25.0, -5.0, 3.8),
+                })
+                .collect(),
+        );
+        let reports: Vec<PoleReport> = sightings
+            .iter()
+            .map(|&(tag, pole, epoch)| {
+                let t_us = epoch * 1_000_000;
+                let obs = TagObservation {
+                    tag: TagKey(tag),
+                    pole: PoleId(pole),
+                    segment: SegmentId((pole / 5) as u16),
+                    cfo_bin: tag as u32,
+                    cfo_hz: tag as f64 * 1953.125,
+                    aoa_rad: 1.0,
+                    has_aoa: true,
+                    rssi_db: -45.0,
+                    timestamp_us: t_us,
+                    multi_occupied: false,
+                };
+                PoleReport {
+                    pole: PoleId(pole),
+                    segment: SegmentId((pole / 5) as u16),
+                    timestamp_us: t_us,
+                    count: 1,
+                    peaks: 1,
+                    observations: vec![obs],
+                }
+            })
+            .collect();
+        let run = |n_shards: usize| {
+            let store = ShardedStore::new(
+                directory(),
+                StoreConfig { shards: n_shards, ..Default::default() },
+            );
+            for r in &reports {
+                store.scatter(r);
+            }
+            store.finalize(n_shards.min(4))
+        };
+        let one = run(1);
+        let many = run(shards);
+        prop_assert_eq!(&one, &many);
+        prop_assert_eq!(one.fingerprint(), many.fingerprint());
+        prop_assert_eq!(one.observations, sightings.len() as u64);
     }
 }
