@@ -3,7 +3,7 @@
 //! Traffic cameras count vehicles from video. Their error depends strongly on
 //! conditions: a few percent in good daylight, and up to 26 % under poor
 //! illumination, wind-induced camera shake or occlusions (§4 and §12.1,
-//! citing the video-detection study [43]). The model draws a per-interval
+//! citing the video-detection study \[43\]). The model draws a per-interval
 //! multiplicative counting error whose magnitude depends on the condition.
 
 use rand::Rng;

@@ -3,7 +3,7 @@
 //! Traffic radars measure speed accurately but cannot tell which vehicle the
 //! measured speed belongs to; a police officer makes that association by eye,
 //! and 10–30 % of radar-based speeding tickets are estimated to be issued to
-//! the wrong car (§4, citing [6]). Caraoke removes the association problem
+//! the wrong car (§4, citing \[6\]). Caraoke removes the association problem
 //! because the speed is tied to a decoded transponder id.
 
 use rand::Rng;

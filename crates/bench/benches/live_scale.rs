@@ -1,0 +1,107 @@
+//! Online city-scale ingestion benchmark: ≥ 1 M tag observations across
+//! 1 000 simulated poles streamed through the watermarked `caraoke-live`
+//! engine, measured against the batch `caraoke-city` baseline.
+//!
+//! Besides the Criterion timings, the bench pins the online determinism
+//! contract: the sealed window fingerprint chain must be byte-identical
+//! across shard counts, worker counts and **two distinct arrival
+//! interleavings** (pole-striped multi-threaded vs seeded shuffled-FIFO),
+//! and the online totals must equal the batch pipeline's aggregates.
+
+use caraoke_city::{BatchDriver, StoreConfig, SyntheticCity};
+use caraoke_live::{Interleaving, LiveConfig, LiveDriver};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const POLES: usize = 1_000;
+const EPOCHS: usize = 250;
+
+fn live_driver(workers: usize, shards: usize, interleaving: Interleaving) -> LiveDriver {
+    LiveDriver {
+        workers,
+        interleaving,
+        config: LiveConfig {
+            store: StoreConfig {
+                shards,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let source = SyntheticCity::new(POLES, EPOCHS, 17);
+    let expected_obs = (POLES * EPOCHS) as f64 * source.mean_observations_per_frame() * 0.95;
+    assert!(
+        expected_obs >= 1_000_000.0,
+        "shape must stream >= 1M observations, expected {expected_obs}"
+    );
+
+    // Reference run + determinism pinning, outside the timing loop.
+    let striped = live_driver(8, 16, Interleaving::PoleStriped).run(&source);
+    assert!(
+        striped.stats.observations >= 1_000_000,
+        "expected >= 1M online observations, got {}",
+        striped.stats.observations
+    );
+    assert_eq!(striped.stats.shed_reports, 0, "FIFO delivery must not shed");
+    assert_eq!(striped.stats.sealed_panes as usize, EPOCHS);
+
+    // Invariance axis 1+2: shard count and worker count.
+    let single = live_driver(1, 1, Interleaving::PoleStriped).run(&source);
+    assert_eq!(
+        striped.chain_fingerprint, single.chain_fingerprint,
+        "window chain must be invariant to shard/worker counts"
+    );
+    // Invariance axis 3: a genuinely different arrival interleaving
+    // (single-threaded seeded random merge of the per-pole streams).
+    let shuffled = live_driver(1, 4, Interleaving::ShuffledFifo { seed: 4242 }).run(&source);
+    assert_eq!(
+        striped.chain_fingerprint, shuffled.chain_fingerprint,
+        "window chain must be invariant to arrival interleaving"
+    );
+
+    // The online totals must agree with the batch pipeline byte-for-byte.
+    let batch = BatchDriver {
+        workers: 8,
+        consumers: 2,
+        queue_capacity: 4096,
+        store: StoreConfig::default(),
+    }
+    .run(&source);
+    assert_eq!(
+        striped.totals.fingerprint(),
+        batch.aggregates.fingerprint(),
+        "online totals must equal the batch aggregates"
+    );
+
+    println!(
+        "live_scale: {} observations from {POLES} poles -> {:.0} obs/s online \
+         vs {:.0} obs/s batch (8 workers / 16 shards; chain {:#018x})",
+        striped.stats.observations,
+        striped.observations_per_sec(),
+        batch.observations_per_sec(),
+        striped.chain_fingerprint,
+    );
+
+    c.bench_function("live_scale_1k_poles_1M_obs_online", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                live_driver(8, 16, Interleaving::PoleStriped)
+                    .run(&source)
+                    .stats
+                    .observations,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(10));
+    targets = bench
+}
+criterion_main!(benches);

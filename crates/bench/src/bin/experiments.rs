@@ -6,7 +6,7 @@
 //! ```text
 //! experiments [all|fig4|fig8|fig11|fig12|fig13|fig14|fig15|fig16|
 //!              table-counting-prob|table-speed-bound|table-power|table-mac|
-//!              sfft|city]
+//!              sfft|city|live]
 //!              [--quick]
 //! ```
 //!
@@ -195,6 +195,18 @@ fn main() {
             "{}",
             bench::format_rows(
                 "city-scale ingestion (ROADMAP north star: sharded multi-threaded caraoke-city pipeline; full sweep in `cargo bench --bench city_scale`)",
+                &rows
+            )
+        );
+    }
+
+    if run("live") {
+        let (poles, epochs) = if quick { (200, 50) } else { (1_000, 250) };
+        let rows = bench::live_scale(poles, epochs, 8, 13);
+        println!(
+            "{}",
+            bench::format_rows(
+                "online watermarked ingestion (caraoke-live: windowed aggregates sealed behind the event-time watermark; full sweep in `cargo bench --bench live_scale`)",
                 &rows
             )
         );

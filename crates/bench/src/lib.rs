@@ -24,6 +24,7 @@ use caraoke_city::{BatchDriver, StoreConfig, SyntheticCity};
 use caraoke_dsp::{magnitude_spectrum, Summary};
 use caraoke_geom::units::CARRIER_WAVELENGTH_M;
 use caraoke_geom::Vec3;
+use caraoke_live::{Interleaving, LiveConfig, LiveDriver};
 use caraoke_phy::antenna::{AntennaArray, ArrayGeometry};
 use caraoke_phy::channel::{MultipathRay, PropagationModel};
 use caraoke_phy::modulation::slice_bits;
@@ -613,6 +614,72 @@ pub fn city_scale(n_poles: usize, epochs: usize, workers: usize, seed: u64) -> V
     rows
 }
 
+/// Online (streaming) city ingestion workload: the same synthetic city as
+/// [`city_scale`], streamed through the watermarked `caraoke-live` engine.
+/// Reports throughput against the batch baseline, the load-shedding and
+/// alias telemetry, and the window-fingerprint invariance check across
+/// shard counts, worker counts and two arrival interleavings.
+pub fn live_scale(n_poles: usize, epochs: usize, workers: usize, seed: u64) -> Vec<Row> {
+    let mut source = SyntheticCity::new(n_poles, epochs, seed);
+    // CFO-keyed identities at city density shares bins across tags, so the
+    // §8 decode-alias upgrade path (and its collision counter) is exercised.
+    source.cfo_keyed = true;
+    let driver = |workers: usize, shards: usize, interleaving: Interleaving| LiveDriver {
+        workers,
+        interleaving,
+        config: LiveConfig {
+            store: StoreConfig {
+                shards,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    };
+    let run = driver(workers, 16, Interleaving::PoleStriped).run(&source);
+    let batch = BatchDriver {
+        workers,
+        consumers: 2,
+        queue_capacity: 4096,
+        store: StoreConfig::default(),
+    }
+    .run(&source);
+    let mut rows = vec![Row::new(
+        format!("{n_poles} poles x {epochs} epochs (online)"),
+        vec![
+            ("observations", run.stats.observations as f64),
+            ("obs_per_sec", run.observations_per_sec()),
+            ("batch_obs_per_sec", batch.observations_per_sec()),
+            ("sealed_panes", run.stats.sealed_panes as f64),
+            ("shed_reports", run.stats.shed_reports as f64),
+            ("alias_upgrades", run.stats.alias.decode_upgrades as f64),
+            ("alias_collision_rate", run.stats.alias.collision_rate()),
+        ],
+    )];
+    // Determinism: 1 shard / 1 worker and a shuffled-FIFO delivery must
+    // both reproduce the window fingerprint chain, and the online totals
+    // must match the batch pipeline byte-for-byte.
+    let single = driver(1, 1, Interleaving::PoleStriped).run(&source);
+    let shuffled = driver(1, 4, Interleaving::ShuffledFifo { seed: seed ^ 0xA5 }).run(&source);
+    rows.push(Row::new(
+        "window invariance",
+        vec![
+            (
+                "chains_match",
+                (run.chain_fingerprint == single.chain_fingerprint
+                    && run.chain_fingerprint == shuffled.chain_fingerprint) as u64
+                    as f64,
+            ),
+            (
+                "totals_match_batch",
+                (run.totals.fingerprint() == batch.aggregates.fingerprint()) as u64 as f64,
+            ),
+            ("p50_speed_mph", run.totals.speeds.percentile_mph(50.0)),
+            ("p90_speed_mph", run.totals.speeds.percentile_mph(90.0)),
+        ],
+    ));
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -690,6 +757,17 @@ mod tests {
         assert!(obs > 1_000.0, "observations {obs}");
         assert!(throughput > 0.0);
         assert_eq!(rows[1].values[0].1, 1.0, "fingerprints must match");
+    }
+
+    #[test]
+    fn live_scale_reports_online_invariance() {
+        let rows = live_scale(64, 10, 4, 3);
+        assert_eq!(rows.len(), 2);
+        let obs = rows[0].values[0].1;
+        assert!(obs > 1_000.0, "observations {obs}");
+        assert_eq!(rows[0].values[4].1, 0.0, "FIFO delivery must not shed");
+        assert_eq!(rows[1].values[0].1, 1.0, "window chains must match");
+        assert_eq!(rows[1].values[1].1, 1.0, "online must match batch");
     }
 
     #[test]

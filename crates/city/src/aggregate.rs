@@ -102,7 +102,9 @@ impl SegmentStats {
         self.multi_occupied_peaks += other.multi_occupied_peaks;
     }
 
-    fn fingerprint_into(&self, fp: &mut Fingerprint) {
+    /// Feeds this aggregate's canonical byte encoding into a [`Fingerprint`]
+    /// (used by the window-keyed live layer as well as [`CityAggregates`]).
+    pub fn fingerprint_into(&self, fp: &mut Fingerprint) {
         fp.write_u64(self.reports);
         fp.write_u64(self.observations);
         fp.write_u64(self.sum_count);
@@ -160,7 +162,8 @@ impl FlowCounter {
         }
     }
 
-    fn fingerprint_into(&self, fp: &mut Fingerprint) {
+    /// Feeds this counter's canonical byte encoding into a [`Fingerprint`].
+    pub fn fingerprint_into(&self, fp: &mut Fingerprint) {
         fp.write_u64(self.per_cycle.len() as u64);
         for (&(seg, cycle), &v) in &self.per_cycle {
             fp.write_u64((seg as u64) << 32 | cycle as u64);
@@ -228,11 +231,20 @@ impl SpeedHistogram {
     }
 
     /// The `p`-th percentile (0–100), reported at the owning bin's midpoint.
+    ///
+    /// Edge cases are pinned down by tests: an empty histogram reports
+    /// `0.0`; a NaN `p` is treated as 0; `p` is clamped into `[0, 100]`, so
+    /// `p <= 0` names the lowest occupied bin and `p >= 100` the highest
+    /// occupied bin (never an empty bin above it); with a single sample every
+    /// percentile is that sample's bin midpoint.
     pub fn percentile_mph(&self, p: f64) -> f64 {
         if self.samples == 0 {
             return 0.0;
         }
-        let rank = ((p / 100.0) * self.samples as f64).ceil().max(1.0) as u64;
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
+        // rank ∈ [1, samples]: the ceil can exceed `samples` by rounding when
+        // p = 100, and must not walk past the highest occupied bin.
+        let rank = (((p / 100.0) * self.samples as f64).ceil().max(1.0) as u64).min(self.samples);
         let mut seen = 0u64;
         for (i, &n) in self.bins.iter().enumerate() {
             seen += n;
@@ -252,7 +264,8 @@ impl SpeedHistogram {
         self.sum_centi_mph += other.sum_centi_mph;
     }
 
-    fn fingerprint_into(&self, fp: &mut Fingerprint) {
+    /// Feeds this histogram's canonical byte encoding into a [`Fingerprint`].
+    pub fn fingerprint_into(&self, fp: &mut Fingerprint) {
         fp.write_u64(self.samples);
         fp.write_u64(self.sum_centi_mph);
         for &b in &self.bins {
@@ -302,7 +315,8 @@ impl OdMatrix {
         }
     }
 
-    fn fingerprint_into(&self, fp: &mut Fingerprint) {
+    /// Feeds this matrix's canonical byte encoding into a [`Fingerprint`].
+    pub fn fingerprint_into(&self, fp: &mut Fingerprint) {
         fp.write_u64(self.transitions.len() as u64);
         for (&(from, to), &v) in &self.transitions {
             fp.write_u64((from as u64) << 32 | to as u64);
@@ -424,6 +438,35 @@ mod tests {
         // Outliers clamp in the mean too, keeping it consistent with the
         // percentiles.
         assert!(h.mean_mph() <= ceiling, "mean {}", h.mean_mph());
+    }
+
+    #[test]
+    fn speed_histogram_percentile_edge_cases() {
+        // Empty histogram: every percentile is 0.
+        let empty = SpeedHistogram::new();
+        for p in [-10.0, 0.0, 50.0, 100.0, 250.0, f64::NAN] {
+            assert_eq!(empty.percentile_mph(p), 0.0, "empty at p={p}");
+        }
+        // Single sample: every percentile is that sample's bin midpoint.
+        let mut one = SpeedHistogram::new();
+        one.record(33.3);
+        let expect = one.percentile_mph(50.0);
+        for p in [0.0, 1.0, 99.0, 100.0] {
+            assert_eq!(one.percentile_mph(p), expect, "single sample at p={p}");
+        }
+        assert!((expect - 33.25).abs() < 1e-9);
+        // p clamps: p<=0 names the lowest occupied bin, p>=100 the highest
+        // occupied bin — never an empty bin above it.
+        let mut h = SpeedHistogram::new();
+        h.record(10.0);
+        h.record(20.0);
+        h.record(30.0);
+        assert_eq!(h.percentile_mph(-5.0), h.percentile_mph(0.0));
+        assert!((h.percentile_mph(0.0) - 10.25).abs() < 1e-9);
+        assert_eq!(h.percentile_mph(100.0), h.percentile_mph(170.0));
+        assert!((h.percentile_mph(100.0) - 30.25).abs() < 1e-9);
+        // NaN p behaves like p = 0.
+        assert_eq!(h.percentile_mph(f64::NAN), h.percentile_mph(0.0));
     }
 
     #[test]

@@ -78,6 +78,11 @@ pub struct TagObservation {
     pub timestamp_us: u64,
     /// Whether the §5 time-shift test flagged this spike as holding two tags.
     pub multi_occupied: bool,
+    /// The tag's decoded id (§8), when the pole managed a decode for this
+    /// spike. Feeds the store's mid-stream [`TagKey`] alias upgrade: the
+    /// CFO-signature key the tag was first tracked under is re-pointed at the
+    /// decoded key on first decode.
+    pub decoded: Option<TransponderId>,
 }
 
 /// Everything one pole reports for one query: per-tag observations plus the
@@ -126,6 +131,7 @@ impl PoleReport {
                     rssi_db: 20.0 * peak.magnitude.max(1e-12).log10(),
                     timestamp_us,
                     multi_occupied: peak.multi_occupied,
+                    decoded: None,
                 }
             })
             .collect();
@@ -137,6 +143,21 @@ impl PoleReport {
             peaks: report.count.peaks as u32,
             observations,
         }
+    }
+
+    /// Attaches a decoded id (§8) to every observation of the given CFO bin,
+    /// returning how many observations were annotated. Readers run decoding
+    /// asynchronously from counting (it needs several queries of averaging),
+    /// so decode results arrive as per-bin annotations on a later report.
+    pub fn attach_decode(&mut self, cfo_bin: u32, id: TransponderId) -> usize {
+        let mut n = 0;
+        for obs in &mut self.observations {
+            if obs.cfo_bin == cfo_bin {
+                obs.decoded = Some(id);
+                n += 1;
+            }
+        }
+        n
     }
 
     /// Number of observations carried by this report.
@@ -178,6 +199,46 @@ mod tests {
         let b = TagKey::from_cfo_hz(299.8e3, 1e3);
         assert_eq!(a, b);
         assert_eq!(a, TagKey::from_cfo_bin(300));
+    }
+
+    #[test]
+    fn attach_decode_annotates_only_the_matching_bin() {
+        let obs = |bin: u32| TagObservation {
+            tag: TagKey::from_cfo_bin(bin as usize),
+            pole: PoleId(1),
+            segment: SegmentId(0),
+            cfo_bin: bin,
+            cfo_hz: bin as f64 * 1953.125,
+            aoa_rad: 0.0,
+            has_aoa: false,
+            rssi_db: -40.0,
+            timestamp_us: 0,
+            multi_occupied: false,
+            decoded: None,
+        };
+        let mut report = PoleReport {
+            pole: PoleId(1),
+            segment: SegmentId(0),
+            timestamp_us: 0,
+            count: 3,
+            peaks: 3,
+            // Two spikes share bin 150 (the §5 shared-bin regime): a decode
+            // of that bin annotates both, and leaves bin 400 untouched.
+            observations: vec![obs(150), obs(400), obs(150)],
+        };
+        assert_eq!(report.attach_decode(150, TransponderId(9)), 2);
+        assert_eq!(
+            report.attach_decode(777, TransponderId(1)),
+            0,
+            "unknown bin"
+        );
+        for o in &report.observations {
+            if o.cfo_bin == 150 {
+                assert_eq!(o.decoded, Some(TransponderId(9)));
+            } else {
+                assert_eq!(o.decoded, None);
+            }
+        }
     }
 
     #[test]

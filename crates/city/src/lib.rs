@@ -13,7 +13,10 @@
 //!                     |
 //!               caraoke-sim                     streets, vehicles, poles (§11)
 //!                     |
-//!               caraoke-city  ← this crate      fleet-scale ingest + analytics
+//!               caraoke-city  ← this crate      fleet-scale batch ingest + analytics
+//!                     |
+//!               caraoke-live                    online: watermarked ingest, windowed
+//!                                               aggregates, point-in-time queries
 //! ```
 //!
 //! Pipeline, left to right:
@@ -23,7 +26,9 @@
 //! * [`queue`] — bounded ring-buffer ingestion with blocking backpressure
 //!   ([`IngestQueue::push`]) and load-shedding ([`IngestQueue::try_push`]).
 //! * [`store`] — the sharded, lock-striped in-memory store, keyed by tag and
-//!   by street segment.
+//!   by street segment. Its [`TagTracker`] state machine (re-sighting
+//!   detection, ping-pong suppression, and the §8 decode-alias upgrade of
+//!   CFO-signature keys) is shared with the online engine in `caraoke-live`.
 //! * [`aggregate`] — streaming aggregators computed incrementally on ingest:
 //!   per-street occupancy (Fig. 13), flow per traffic-light cycle (Fig. 12),
 //!   speed percentiles from cross-pole fixes (§7), and the
@@ -37,10 +42,12 @@
 //! * [`dashboard`] — text rendering of a run.
 //!
 //! Determinism is a first-class property: aggregates are integer-counter
-//! CRDTs and per-tag histories are totally ordered per shard, so a fixed
-//! seed yields **byte-identical** aggregates for any shard count, worker
-//! count, or delivery order. `CityAggregates::fingerprint` pins this in the
-//! test suite.
+//! CRDTs and per-tag histories are totally ordered per shard (observations
+//! route by CFO bin, so a tag's CFO-signature key and the decoded key that
+//! aliases it share a shard), so a fixed seed yields **byte-identical**
+//! aggregates for any shard count, worker count, or delivery order.
+//! `CityAggregates::fingerprint` pins this in the test suite, and
+//! `caraoke-live` extends the same contract to watermark-sealed windows.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -59,5 +66,7 @@ pub use driver::{BatchDriver, CityRun, FrameSource};
 pub use event::{PoleId, PoleReport, SegmentId, TagKey, TagObservation};
 pub use phy::PhyCity;
 pub use queue::{IngestQueue, PushError, QueueStats};
-pub use store::{PoleDirectory, PoleSite, ShardedStore, StoreConfig};
+pub use store::{
+    AliasStats, DerivedEvent, PoleDirectory, PoleSite, ShardedStore, StoreConfig, TagTracker,
+};
 pub use synth::SyntheticCity;

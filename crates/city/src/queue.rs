@@ -22,14 +22,23 @@ pub enum PushError {
 }
 
 /// Counters describing what a queue experienced, for capacity planning.
+///
+/// The two overload responses are deliberately counted apart so a live
+/// deployment can tell *load shedding* (items dropped at a full ring via
+/// [`IngestQueue::try_push`]) from *backpressure* (producers stalled at a
+/// full ring via [`IngestQueue::push`]): shedding loses data, blocking loses
+/// only latency.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueueStats {
     /// Items accepted over the queue's lifetime.
     pub accepted: u64,
-    /// `try_push` calls refused with [`PushError::Full`].
+    /// `try_push` calls refused with [`PushError::Full`] — each one is an
+    /// item shed at the ingest boundary.
     pub rejected: u64,
     /// Blocking `push` calls that had to wait for space (backpressure events).
     pub blocked_pushes: u64,
+    /// Pushes of either flavour refused with [`PushError::Closed`].
+    pub closed_rejects: u64,
     /// Highest queue depth ever observed.
     pub high_watermark: usize,
 }
@@ -80,6 +89,7 @@ impl<T> IngestQueue<T> {
             }
         }
         if inner.closed {
+            inner.stats.closed_rejects += 1;
             return Err(PushError::Closed);
         }
         inner.ring.push_back(item);
@@ -95,6 +105,7 @@ impl<T> IngestQueue<T> {
     pub fn try_push(&self, item: T) -> Result<(), PushError> {
         let mut inner = self.inner.lock().expect("queue lock");
         if inner.closed {
+            inner.stats.closed_rejects += 1;
             return Err(PushError::Closed);
         }
         if inner.ring.len() == self.capacity {
@@ -179,7 +190,8 @@ mod tests {
         assert_eq!(q.try_push(3), Err(PushError::Full));
         let stats = q.stats();
         assert_eq!(stats.accepted, 2);
-        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.rejected, 1, "full rejects are sheds");
+        assert_eq!(stats.blocked_pushes, 0, "nothing blocked");
         assert_eq!(stats.high_watermark, 2);
     }
 
@@ -211,6 +223,9 @@ mod tests {
         assert_eq!(consumer.join().unwrap(), None);
         assert_eq!(q.push(9), Err(PushError::Closed));
         assert_eq!(q.try_push(9), Err(PushError::Closed));
+        let stats = q.stats();
+        assert_eq!(stats.closed_rejects, 2);
+        assert_eq!(stats.rejected, 0, "closed rejects are not full-ring sheds");
     }
 
     #[test]

@@ -3,13 +3,21 @@
 //! Observations are keyed two ways, mirroring the two query patterns of the
 //! analytics tier:
 //!
-//! * **by tag** — [`TagShard`]s hold per-tag sighting state (last pole, last
+//! * **by tag** — tag shards hold per-tag sighting state (last pole, last
 //!   time), from which the re-sighting analytics (speed samples, OD
-//!   transitions, flow events) are derived. A tag always hashes to the same
-//!   shard, so its history is totally ordered no matter how many shards or
-//!   ingest threads are configured.
+//!   transitions, flow events) are derived. Observations are routed to
+//!   shards by **CFO bin**, so a tag's whole history — including the
+//!   decoded-id observations that alias its CFO-signature key (§8) — lands
+//!   on one shard and is totally ordered no matter how many shards or ingest
+//!   threads are configured.
 //! * **by street segment** — report-level occupancy counters live in a
 //!   separate set of lock stripes keyed by segment.
+//!
+//! The per-tag transition state machine lives in [`TagTracker`], shared with
+//! the online engine in `caraoke-live`: it consumes observations in
+//! canonical order and emits [`DerivedEvent`]s (flow, OD transition, speed
+//! sample) which the caller folds into whichever aggregate state it keeps —
+//! whole-run [`CityAggregates`] here, window-keyed panes in the live layer.
 //!
 //! Determinism contract: scatter order is arbitrary (any thread may deliver
 //! any report), but [`ShardedStore::finalize`] sorts each shard's buffered
@@ -132,13 +140,240 @@ struct TagState {
     sightings: u64,
 }
 
+/// An analytics event derived from one observation by a [`TagTracker`].
+///
+/// The tracker owns the *ordering-sensitive* logic (re-sighting detection,
+/// ping-pong suppression, alias upgrades); folding the emitted events into
+/// counters is order-free, so callers may key them however they like —
+/// whole-run aggregates in the batch store, watermark-sealed window panes in
+/// the live engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DerivedEvent {
+    /// A tag entered a `(segment, light cycle)` bucket it was not in before
+    /// (one Fig. 12 flow event).
+    Flow {
+        /// Segment the tag entered.
+        segment: SegmentId,
+        /// Light-cycle index of the entry.
+        cycle: u32,
+    },
+    /// A tag was re-sighted at a different pole (one OD transition).
+    Od {
+        /// Pole the tag came from.
+        from: PoleId,
+        /// Pole the tag was re-sighted at.
+        to: PoleId,
+    },
+    /// A plausible cross-pole speed fix (§7).
+    Speed {
+        /// Estimated speed, mph.
+        mph: f64,
+    },
+}
+
+/// Counters describing the mid-stream [`TagKey`] alias upgrades (§8).
+///
+/// At high tag density many transponders share a CFO bin, so a
+/// CFO-signature key is an *ambiguous* identity; these counters make the
+/// aliasing rate observable. `alias_collisions / decode_upgrades` is how
+/// often decodes found their CFO key already claimed by a different decoded
+/// tag, per first claim — it exceeds 1 when several tags keep re-claiming a
+/// shared bin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AliasStats {
+    /// First decodes: a CFO-signature key upgraded to a decoded key, its
+    /// sighting history migrated.
+    pub decode_upgrades: u64,
+    /// Undecoded observations resolved through the alias table onto a
+    /// decoded key.
+    pub alias_hits: u64,
+    /// Decodes that found the CFO key already aliased to a *different*
+    /// decoded id — two tags sharing a bin (the §5 shared-bin regime).
+    pub alias_collisions: u64,
+}
+
+impl AliasStats {
+    /// Merges another shard's counters.
+    pub fn merge(&mut self, other: &AliasStats) {
+        self.decode_upgrades += other.decode_upgrades;
+        self.alias_hits += other.alias_hits;
+        self.alias_collisions += other.alias_collisions;
+    }
+
+    /// Shared-bin collisions per first-decode upgrade (0 when nothing was
+    /// decoded; exceeds 1 when tags keep re-claiming a shared bin).
+    pub fn collision_rate(&self) -> f64 {
+        if self.decode_upgrades == 0 {
+            0.0
+        } else {
+            self.alias_collisions as f64 / self.decode_upgrades as f64
+        }
+    }
+}
+
+/// The per-tag transition state machine: consumes observations in canonical
+/// `(timestamp, pole, tag)` order and emits [`DerivedEvent`]s.
+///
+/// Identity resolution happens here too: an observation carrying a decoded
+/// id (§8) upgrades the tag's CFO-signature key to the decoded key on first
+/// decode — the existing sighting state migrates, and later undecoded
+/// observations of the same CFO signature resolve through the alias table.
+/// Observations must be routed to trackers by CFO bin so an aliased pair
+/// always meets the same tracker.
+#[derive(Debug, Default)]
+pub struct TagTracker {
+    /// Per-tag state, keyed by resolved tag key.
+    tags: HashMap<u64, TagState>,
+    /// CFO-signature key → decoded key upgrades.
+    aliases: HashMap<u64, u64>,
+    stats: AliasStats,
+}
+
+impl TagTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct (resolved) tags tracked.
+    pub fn distinct_tags(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// The tracker's alias-upgrade counters.
+    pub fn alias_stats(&self) -> AliasStats {
+        self.stats
+    }
+
+    /// Resolves the observation's tag identity through the alias table,
+    /// registering a new alias when the observation carries a decode.
+    fn resolve(&mut self, obs: &TagObservation) -> u64 {
+        let raw = obs.tag.0;
+        if let Some(id) = obs.decoded {
+            let decoded = TagKey::from_decoded(id).0;
+            if raw != decoded {
+                match self.aliases.get(&raw).copied() {
+                    None => {
+                        // First decode of this CFO signature: migrate its
+                        // history to the decoded key (unless the decoded tag
+                        // was already tracked in its own right, which wins).
+                        self.aliases.insert(raw, decoded);
+                        self.stats.decode_upgrades += 1;
+                        if let Some(state) = self.tags.remove(&raw) {
+                            self.tags.entry(decoded).or_insert(state);
+                        }
+                    }
+                    Some(existing) if existing != decoded => {
+                        // Two tags share the bin: latest decode claims the
+                        // signature (the §5 shared-bin regime).
+                        self.stats.alias_collisions += 1;
+                        self.aliases.insert(raw, decoded);
+                    }
+                    Some(_) => {}
+                }
+            }
+            decoded
+        } else if let Some(&decoded) = self.aliases.get(&raw) {
+            self.stats.alias_hits += 1;
+            decoded
+        } else {
+            raw
+        }
+    }
+
+    /// Applies one observation (which must arrive in canonical order) and
+    /// emits the derived analytics events.
+    pub fn apply(
+        &mut self,
+        obs: &TagObservation,
+        directory: &PoleDirectory,
+        config: &StoreConfig,
+        mut emit: impl FnMut(DerivedEvent),
+    ) {
+        let key = self.resolve(obs);
+        let cycle = (obs.timestamp_us / config.light_cycle_us) as u32;
+        match self.tags.get_mut(&key) {
+            None => {
+                emit(DerivedEvent::Flow {
+                    segment: obs.segment,
+                    cycle,
+                });
+                self.tags.insert(
+                    key,
+                    TagState {
+                        prev_pole: u32::MAX,
+                        last_pole: obs.pole,
+                        prev_segment: u16::MAX,
+                        last_segment: obs.segment,
+                        arrival_us: obs.timestamp_us,
+                        last_seen_us: obs.timestamp_us,
+                        last_cycle: cycle,
+                        sightings: 1,
+                    },
+                );
+            }
+            Some(state) => {
+                // A tag entering a (segment, light-cycle) bucket it was
+                // not in before is one flow event (Fig. 12). Bouncing
+                // back to the previous segment within the same cycle is
+                // coverage-overlap ping-pong, not new flow. Segment
+                // tracking resets at every cycle boundary so a tag
+                // straddling two segments is credited to both, once per
+                // cycle each.
+                if cycle != state.last_cycle {
+                    emit(DerivedEvent::Flow {
+                        segment: obs.segment,
+                        cycle,
+                    });
+                    state.prev_segment = u16::MAX;
+                    state.last_segment = obs.segment;
+                } else if obs.segment != state.last_segment && obs.segment.0 != state.prev_segment {
+                    emit(DerivedEvent::Flow {
+                        segment: obs.segment,
+                        cycle,
+                    });
+                    state.prev_segment = state.last_segment.0;
+                    state.last_segment = obs.segment;
+                }
+                // Ping-pong suppression: overlapping pole coverage makes
+                // a tag alternate between two poles while physically in
+                // both ranges; bouncing back to the previous pole is not
+                // forward progress.
+                let pingpong = obs.pole.0 == state.prev_pole;
+                if obs.pole != state.last_pole && !pingpong {
+                    emit(DerivedEvent::Od {
+                        from: state.last_pole,
+                        to: obs.pole,
+                    });
+                    // Arrival-to-arrival gap spans exactly the pole
+                    // spacing when both poles share a coverage radius.
+                    let gap = obs.timestamp_us.saturating_sub(state.arrival_us);
+                    if gap >= config.min_speed_gap_us && gap <= config.max_speed_gap_us {
+                        let dist = directory.distance_m(state.last_pole, obs.pole);
+                        let mph = caraoke_geom::mps_to_mph(dist / (gap as f64 / 1e6));
+                        if mph <= config.max_plausible_speed_mph {
+                            emit(DerivedEvent::Speed { mph });
+                        }
+                    }
+                    state.prev_pole = state.last_pole.0;
+                    state.last_pole = obs.pole;
+                    state.arrival_us = obs.timestamp_us;
+                }
+                state.last_seen_us = state.last_seen_us.max(obs.timestamp_us);
+                state.last_cycle = cycle;
+                state.sightings += 1;
+            }
+        }
+    }
+}
+
 /// One lock stripe of the by-tag store.
 #[derive(Debug, Default)]
 struct TagShard {
     /// Observations buffered by scatter, applied (sorted) by finalize.
     pending: Vec<TagObservation>,
-    /// Per-tag state, built during apply.
-    tags: HashMap<u64, TagState>,
+    /// The shard's per-tag state machine, built during apply.
+    tracker: TagTracker,
     /// Aggregates derived from this shard's tags.
     agg: CityAggregates,
 }
@@ -152,9 +387,12 @@ pub struct ShardedStore {
     report_count: AtomicU64,
 }
 
-/// Fibonacci hash spreading tag keys across shards.
-fn shard_of(key: TagKey, shards: usize) -> usize {
-    (key.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % shards
+/// Fibonacci hash spreading CFO bins across shards. Routing by bin (rather
+/// than by tag key) keeps a CFO-signature key and the decoded key that
+/// aliases it (§4: a tag's CFO is stable to within a bin) on the same shard,
+/// so alias upgrades are shard-local.
+pub fn shard_of_bin(cfo_bin: u32, shards: usize) -> usize {
+    ((cfo_bin as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % shards
 }
 
 impl ShardedStore {
@@ -208,7 +446,7 @@ impl ShardedStore {
         let mut by_shard: Vec<(usize, &TagObservation)> = report
             .observations
             .iter()
-            .map(|o| (shard_of(o.tag, n_shards), o))
+            .map(|o| (shard_of_bin(o.cfo_bin, n_shards), o))
             .collect();
         by_shard.sort_unstable_by_key(|(s, _)| *s);
         let mut i = 0;
@@ -228,73 +466,14 @@ impl ShardedStore {
     fn apply_shard(&self, shard: &mut TagShard) {
         let mut pending = std::mem::take(&mut shard.pending);
         pending.sort_by_key(|o| (o.timestamp_us, o.pole.0, o.tag.0));
+        let TagShard { tracker, agg, .. } = shard;
         for obs in pending {
-            let cycle = (obs.timestamp_us / self.config.light_cycle_us) as u32;
-            shard.agg.observations += 1;
-            match shard.tags.get_mut(&obs.tag.0) {
-                None => {
-                    shard.agg.flow.record(obs.segment, cycle);
-                    shard.tags.insert(
-                        obs.tag.0,
-                        TagState {
-                            prev_pole: u32::MAX,
-                            last_pole: obs.pole,
-                            prev_segment: u16::MAX,
-                            last_segment: obs.segment,
-                            arrival_us: obs.timestamp_us,
-                            last_seen_us: obs.timestamp_us,
-                            last_cycle: cycle,
-                            sightings: 1,
-                        },
-                    );
-                }
-                Some(state) => {
-                    // A tag entering a (segment, light-cycle) bucket it was
-                    // not in before is one flow event (Fig. 12). Bouncing
-                    // back to the previous segment within the same cycle is
-                    // coverage-overlap ping-pong, not new flow. Segment
-                    // tracking resets at every cycle boundary so a tag
-                    // straddling two segments is credited to both, once per
-                    // cycle each.
-                    if cycle != state.last_cycle {
-                        shard.agg.flow.record(obs.segment, cycle);
-                        state.prev_segment = u16::MAX;
-                        state.last_segment = obs.segment;
-                    } else if obs.segment != state.last_segment
-                        && obs.segment.0 != state.prev_segment
-                    {
-                        shard.agg.flow.record(obs.segment, cycle);
-                        state.prev_segment = state.last_segment.0;
-                        state.last_segment = obs.segment;
-                    }
-                    // Ping-pong suppression: overlapping pole coverage makes
-                    // a tag alternate between two poles while physically in
-                    // both ranges; bouncing back to the previous pole is not
-                    // forward progress.
-                    let pingpong = obs.pole.0 == state.prev_pole;
-                    if obs.pole != state.last_pole && !pingpong {
-                        shard.agg.od.record(state.last_pole, obs.pole);
-                        // Arrival-to-arrival gap spans exactly the pole
-                        // spacing when both poles share a coverage radius.
-                        let gap = obs.timestamp_us.saturating_sub(state.arrival_us);
-                        if gap >= self.config.min_speed_gap_us
-                            && gap <= self.config.max_speed_gap_us
-                        {
-                            let dist = self.directory.distance_m(state.last_pole, obs.pole);
-                            let mph = caraoke_geom::mps_to_mph(dist / (gap as f64 / 1e6));
-                            if mph <= self.config.max_plausible_speed_mph {
-                                shard.agg.speeds.record(mph);
-                            }
-                        }
-                        state.prev_pole = state.last_pole.0;
-                        state.last_pole = obs.pole;
-                        state.arrival_us = obs.timestamp_us;
-                    }
-                    state.last_seen_us = state.last_seen_us.max(obs.timestamp_us);
-                    state.last_cycle = cycle;
-                    state.sightings += 1;
-                }
-            }
+            agg.observations += 1;
+            tracker.apply(&obs, &self.directory, &self.config, |event| match event {
+                DerivedEvent::Flow { segment, cycle } => agg.flow.record(segment, cycle),
+                DerivedEvent::Od { from, to } => agg.od.record(from, to),
+                DerivedEvent::Speed { mph } => agg.speeds.record(mph),
+            });
         }
     }
 
@@ -326,12 +505,26 @@ impl ShardedStore {
         out
     }
 
-    /// Number of distinct tags tracked (after `finalize`).
+    /// Number of distinct tags tracked (after `finalize`). Decoded-key
+    /// aliases count once: a CFO signature upgraded to its decoded id is one
+    /// tag, not two.
     pub fn distinct_tags(&self) -> usize {
         self.tag_shards
             .iter()
-            .map(|s| s.lock().expect("tag shard").tags.len())
+            .map(|s| s.lock().expect("tag shard").tracker.distinct_tags())
             .sum()
+    }
+
+    /// Alias-upgrade counters summed over all shards (after `finalize`):
+    /// how often CFO-signature keys were upgraded to decoded keys, how often
+    /// the alias resolved later observations, and how often decodes collided
+    /// on a shared CFO bin.
+    pub fn alias_stats(&self) -> AliasStats {
+        let mut out = AliasStats::default();
+        for shard in &self.tag_shards {
+            out.merge(&shard.lock().expect("tag shard").tracker.alias_stats());
+        }
+        out
     }
 
     /// Number of pole reports scattered so far.
@@ -367,6 +560,7 @@ mod tests {
             rssi_db: -40.0,
             timestamp_us: t_us,
             multi_occupied: false,
+            decoded: None,
         }
     }
 
@@ -495,6 +689,61 @@ mod tests {
         assert_eq!(agg.segments[&0].sum_count, 2);
         assert_eq!(agg.segments[&1].reports, 2);
         assert_eq!(agg.segments[&1].peak_count, 1);
+    }
+
+    #[test]
+    fn first_decode_upgrades_the_cfo_key_and_keeps_the_history() {
+        use caraoke_phy::TransponderId;
+        let store = ShardedStore::new(line_directory(4, 30.0), StoreConfig::default());
+        // Tag tracked under its CFO-signature key at pole 0...
+        let cfo_key = TagKey::from_cfo_bin(41).0;
+        store.scatter(&report(0, 0, 0, vec![obs(cfo_key, 0, 0, 0)]));
+        // ...then decoded at pole 1 two seconds later. Same CFO bin, so both
+        // observations land on the same shard and the history migrates.
+        let mut decoded_obs = obs(cfo_key, 1, 0, 2_000_000);
+        decoded_obs.decoded = Some(TransponderId(900));
+        store.scatter(&report(1, 0, 2_000_000, vec![decoded_obs]));
+        // Later sightings carry only the CFO signature again; the alias
+        // resolves them onto the decoded identity.
+        store.scatter(&report(
+            2,
+            0,
+            4_000_000,
+            vec![obs(cfo_key, 2, 0, 4_000_000)],
+        ));
+        let agg = store.finalize(2);
+        // One tag throughout: history continuity means the pole 0 -> 1 -> 2
+        // walk produces two OD transitions and two speed samples.
+        assert_eq!(store.distinct_tags(), 1, "alias must not split the tag");
+        assert_eq!(agg.od.total(), 2);
+        assert_eq!(agg.speeds.samples(), 2);
+        let stats = store.alias_stats();
+        assert_eq!(stats.decode_upgrades, 1);
+        assert_eq!(stats.alias_hits, 1);
+        assert_eq!(stats.alias_collisions, 0);
+        assert_eq!(stats.collision_rate(), 0.0);
+    }
+
+    #[test]
+    fn shared_bin_decodes_count_alias_collisions() {
+        use caraoke_phy::TransponderId;
+        let store = ShardedStore::new(line_directory(4, 30.0), StoreConfig::default());
+        let cfo_key = TagKey::from_cfo_bin(88).0;
+        // Two different transponders decode out of the same CFO bin (the §5
+        // shared-bin regime at high tag density).
+        let mut first = obs(cfo_key, 0, 0, 0);
+        first.decoded = Some(TransponderId(1));
+        let mut second = obs(cfo_key, 0, 0, 1_000_000);
+        second.decoded = Some(TransponderId(2));
+        store.scatter(&report(0, 0, 0, vec![first]));
+        store.scatter(&report(0, 0, 1_000_000, vec![second]));
+        store.finalize(1);
+        let stats = store.alias_stats();
+        assert_eq!(stats.decode_upgrades, 1, "first decode claims the bin");
+        assert_eq!(stats.alias_collisions, 1, "second decode collides");
+        assert_eq!(stats.collision_rate(), 1.0);
+        // Both decoded identities are tracked in their own right.
+        assert_eq!(store.distinct_tags(), 2);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::driver::FrameSource;
 use crate::event::{PoleId, PoleReport, SegmentId, TagKey, TagObservation};
 use crate::store::{PoleDirectory, PoleSite};
 use caraoke_geom::Vec3;
+use caraoke_phy::TransponderId;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -53,6 +54,15 @@ pub struct SyntheticCity {
     pub miss_probability: f64,
     /// Epoch duration, µs (one query burst per epoch, §9-style pacing).
     pub epoch_us: u64,
+    /// One in `decode_every` observations carries the tag's decoded id (§8
+    /// decode averaging succeeds only occasionally per query burst); `0`
+    /// disables decoding entirely.
+    pub decode_every: u32,
+    /// When set, tags are keyed by CFO signature ([`TagKey::from_cfo_bin`])
+    /// instead of by unique synthetic key, so distinct tags *collide* on the
+    /// 615 CFO bins at high density — the regime that exercises the store's
+    /// decode-alias upgrade path and its collision counters.
+    pub cfo_keyed: bool,
 }
 
 /// Poles per street segment in the synthetic layout.
@@ -85,6 +95,8 @@ impl SyntheticCity {
             max_parked: 3,
             miss_probability: 0.05,
             epoch_us: 1_500_000,
+            decode_every: 6,
+            cfo_keyed: false,
         }
     }
 
@@ -100,23 +112,38 @@ impl SyntheticCity {
 
     fn observation(
         &self,
-        tag: TagKey,
+        raw: u64,
         pole: u32,
         timestamp_us: u64,
         rng: &mut StdRng,
     ) -> TagObservation {
         let site = self.directory.site(PoleId(pole));
+        let cfo_bin = (raw % 615) as u32;
+        // CFO-keyed mode models the pre-decoding identity the paper's §5
+        // pipeline really has: the key is the (possibly shared) CFO bin, and
+        // only a decode pins down which transponder it was.
+        let tag = if self.cfo_keyed {
+            TagKey::from_cfo_bin(cfo_bin as usize)
+        } else {
+            TagKey(raw)
+        };
+        let decoded = if self.decode_every > 0 && rng.random_range(0..self.decode_every) == 0 {
+            Some(TransponderId(raw))
+        } else {
+            None
+        };
         TagObservation {
             tag,
             pole: PoleId(pole),
             segment: site.segment,
-            cfo_bin: (tag.0 % 615) as u32,
-            cfo_hz: (tag.0 % 615) as f64 * 1953.125,
+            cfo_bin,
+            cfo_hz: cfo_bin as f64 * 1953.125,
             aoa_rad: rng.random_range(0.35..2.8),
             has_aoa: true,
             rssi_db: rng.random_range(-62.0..-38.0),
             timestamp_us,
             multi_occupied: rng.random_range(0.0..1.0) < 0.02,
+            decoded,
         }
     }
 }
@@ -145,14 +172,14 @@ impl FrameSource for SyntheticCity {
         let residue = (pole as i64 - epoch as i64).rem_euclid(n as i64) as u64;
         for m in 0..self.through_density as u64 {
             let v = m * n as u64 + residue;
-            observations.push(self.observation(TagKey(THROUGH_BASE + v), pole, t, &mut rng));
+            observations.push(self.observation(THROUGH_BASE + v, pole, t, &mut rng));
         }
 
         // Slow traffic advances every other epoch: at `(v + epoch/2) % n`.
         let slow_residue = (pole as i64 - (epoch / 2) as i64).rem_euclid(n as i64) as u64;
         for m in 0..self.slow_density as u64 {
             let v = m * n as u64 + slow_residue;
-            observations.push(self.observation(TagKey(SLOW_BASE + v), pole, t, &mut rng));
+            observations.push(self.observation(SLOW_BASE + v, pole, t, &mut rng));
         }
 
         // Parked tags: a per-pole constant population (0..=max_parked).
@@ -164,7 +191,7 @@ impl FrameSource for SyntheticCity {
         for k in 0..parked_here as u64 {
             // 2^20 stride per pole: keys stay collision-free for any
             // max_parked < 2^20 and pole count < 2^20.
-            let tag = TagKey(PARKED_BASE + ((pole as u64) << 20) + k);
+            let tag = PARKED_BASE + ((pole as u64) << 20) + k;
             observations.push(self.observation(tag, pole, t, &mut rng));
         }
 

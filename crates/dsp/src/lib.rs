@@ -10,7 +10,7 @@
 //! dependencies:
 //!
 //! * [`Complex`] — complex arithmetic on `f64`.
-//! * [`fft`] — iterative radix-2 decimation-in-time FFT / inverse FFT, plus
+//! * [`fft` (module)](mod@crate::fft) — iterative radix-2 decimation-in-time FFT / inverse FFT, plus
 //!   helpers for circular time shifts (used by the multi-occupancy bin test of
 //!   §5 of the paper).
 //! * [`goertzel`] — single-bin DFT evaluation, used by the sparse-FFT

@@ -1,0 +1,582 @@
+//! The online ingest engine.
+//!
+//! [`LiveCity`] applies [`PoleReport`]s **as they arrive** — no
+//! sort-at-finalize. The pieces:
+//!
+//! * a [`WatermarkClock`] derives the event-time low watermark from pole
+//!   report timestamps (every pole's stream is monotone);
+//! * each tag shard keeps a **bounded out-of-order buffer** of observations
+//!   above the watermark; reports and observations *below* the sealed
+//!   frontier — late beyond the lateness allowance — are **counted and
+//!   shed**, never silently merged into already-sealed windows;
+//! * when the watermark advances, complete panes are **sealed**: each
+//!   shard's buffered observations for the pane are sorted canonically,
+//!   run through the shared [`TagTracker`] state machine (the same one the
+//!   batch store uses, §8 alias upgrades included), folded into one pane
+//!   aggregate, fingerprinted into the engine's **fingerprint chain**, and
+//!   pushed into the retained [`WindowRing`].
+//!
+//! # Determinism contract
+//!
+//! For a fixed seed, any shard count, any number of concurrent ingest
+//! threads, and **any arrival interleaving consistent with the watermarks**
+//! (FIFO per pole; cross-pole order free) produce byte-identical sealed
+//! panes, hence an identical fingerprint chain and totals. Why: a pane is
+//! sealed only once every pole's frontier has passed it (plus the lateness
+//! allowance), and per-pole FIFO delivery means every observation of the
+//! pane is buffered by then; the canonical per-pane sort erases the
+//! remaining cross-pole arrival freedom, exactly like the batch store's
+//! sort-at-finalize — but windows seal *online*, with bounded memory.
+//! The live totals are moreover byte-identical to a [`BatchDriver`] run of
+//! the same source (the end-to-end tests pin both properties).
+//!
+//! [`BatchDriver`]: caraoke_city::BatchDriver
+
+use crate::watermark::WatermarkClock;
+use crate::window::{WindowAggregate, WindowRing};
+use caraoke_city::aggregate::Fingerprint;
+use caraoke_city::store::{AliasStats, DerivedEvent, TagTracker};
+use caraoke_city::{
+    CityAggregates, PoleDirectory, PoleReport, SegmentStats, StoreConfig, TagObservation,
+};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Tuning knobs of the online engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveConfig {
+    /// Batch-tier knobs reused online: shard/stripe counts, light-cycle
+    /// length, speed-gap plausibility bounds.
+    pub store: StoreConfig,
+    /// Pane width, µs: the granularity of watermark advance and window
+    /// sealing. Default 1.5 s (one §9 query epoch).
+    pub pane_us: u64,
+    /// Extra panes the engine waits below the watermark before sealing, to
+    /// absorb delivery that is not perfectly FIFO per pole.
+    pub lateness_panes: u64,
+    /// Sealed panes retained for window queries; older panes are evicted
+    /// (their counts stay in the running totals and fingerprint chain).
+    pub retain_panes: usize,
+    /// Bound on each shard's out-of-order buffer; observations beyond it
+    /// are shed and counted (`overflow_shed`), never dropped silently.
+    pub max_pending_per_shard: usize,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        Self {
+            store: StoreConfig::default(),
+            pane_us: 1_500_000,
+            lateness_panes: 1,
+            retain_panes: 64,
+            max_pending_per_shard: 1 << 20,
+        }
+    }
+}
+
+/// What happened to one ingested report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// The report was applied (buffered toward its panes).
+    Applied,
+    /// The report arrived beyond the lateness allowance — it was counted
+    /// and shed whole.
+    ShedLate,
+}
+
+/// Snapshot of the engine's telemetry counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LiveStats {
+    /// Reports accepted.
+    pub reports: u64,
+    /// Observations sealed into panes so far.
+    pub observations: u64,
+    /// Whole reports shed for arriving beyond the lateness allowance.
+    pub shed_reports: u64,
+    /// Individual observations shed as late.
+    pub shed_observations: u64,
+    /// Observations shed because a shard's out-of-order buffer was full.
+    pub overflow_shed: u64,
+    /// Observations currently buffered above the watermark.
+    pub buffered_observations: u64,
+    /// Panes sealed so far.
+    pub sealed_panes: u64,
+    /// Current event-time low watermark, µs.
+    pub watermark_us: u64,
+    /// Timestamps below this have been sealed; arrivals below it shed.
+    pub seal_floor_us: u64,
+    /// Mid-stream decode alias counters, summed over shards (§8).
+    pub alias: AliasStats,
+}
+
+/// One tag shard of the live engine: the out-of-order buffer plus the
+/// shared per-tag state machine.
+#[derive(Debug, Default)]
+struct LiveShard {
+    pending: Vec<TagObservation>,
+    tracker: TagTracker,
+}
+
+/// Sealed-window state, guarded by one mutex so seals are serialized and
+/// the chain/ring/totals stay mutually consistent.
+struct SealedState {
+    /// Next pane index to seal.
+    next_pane: u64,
+    /// Retained sealed panes for window queries.
+    ring: WindowRing<CityAggregates>,
+    /// Running FNV-1a chain over every sealed `(pane, fingerprint)` pair.
+    chain: Fingerprint,
+    /// Whole-run totals (merge of every sealed pane, retained or not).
+    total: CityAggregates,
+}
+
+/// The online city engine. See the module docs for the architecture and
+/// the determinism contract; see [`crate::query`] for the read side.
+pub struct LiveCity {
+    directory: PoleDirectory,
+    config: LiveConfig,
+    clock: WatermarkClock,
+    shards: Vec<Mutex<LiveShard>>,
+    stripes: Vec<Mutex<BTreeMap<(u64, u16), SegmentStats>>>,
+    sealed: Mutex<SealedState>,
+    /// Cache of `next_pane * pane_us`, readable without the sealed lock.
+    seal_floor_us: AtomicU64,
+    max_ts_us: AtomicU64,
+    reports: AtomicU64,
+    shed_reports: AtomicU64,
+    shed_observations: AtomicU64,
+    overflow_shed: AtomicU64,
+}
+
+impl LiveCity {
+    /// Creates an engine over the given deployment.
+    pub fn new(directory: PoleDirectory, config: LiveConfig) -> Self {
+        let shards = config.store.shards.max(1);
+        let stripes = config.store.segment_stripes.max(1);
+        Self {
+            clock: WatermarkClock::new(directory.len(), config.pane_us),
+            shards: (0..shards)
+                .map(|_| Mutex::new(LiveShard::default()))
+                .collect(),
+            stripes: (0..stripes).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            sealed: Mutex::new(SealedState {
+                next_pane: 0,
+                ring: WindowRing::new(config.retain_panes),
+                chain: Fingerprint::new(),
+                total: CityAggregates::new(),
+            }),
+            seal_floor_us: AtomicU64::new(0),
+            max_ts_us: AtomicU64::new(0),
+            reports: AtomicU64::new(0),
+            shed_reports: AtomicU64::new(0),
+            shed_observations: AtomicU64::new(0),
+            overflow_shed: AtomicU64::new(0),
+            directory,
+            config,
+        }
+    }
+
+    /// The deployment directory.
+    pub fn directory(&self) -> &PoleDirectory {
+        &self.directory
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &LiveConfig {
+        &self.config
+    }
+
+    /// Applies one pole report as it arrives. Safe to call from many
+    /// threads at once; each pole's reports must be delivered FIFO (the
+    /// watermark contract) — reports older than the sealed frontier are
+    /// counted and shed.
+    pub fn ingest(&self, report: &PoleReport) -> IngestOutcome {
+        let floor = self.seal_floor_us.load(Ordering::Acquire);
+        if report.timestamp_us < floor {
+            self.shed_reports.fetch_add(1, Ordering::Relaxed);
+            self.shed_observations
+                .fetch_add(report.len() as u64, Ordering::Relaxed);
+            return IngestOutcome::ShedLate;
+        }
+        self.max_ts_us
+            .fetch_max(report.timestamp_us, Ordering::AcqRel);
+
+        // Report-level occupancy counters go to the pane-keyed segment
+        // stripe (order-free integer merges, so no buffering needed).
+        let pane = report.timestamp_us / self.config.pane_us;
+        let multi = report
+            .observations
+            .iter()
+            .filter(|o| o.multi_occupied)
+            .count() as u32;
+        {
+            let stripe = report.segment.0 as usize % self.stripes.len();
+            let mut map = self.stripes[stripe].lock().expect("segment stripe");
+            map.entry((pane, report.segment.0))
+                .or_default()
+                .record_report(report.count, report.observations.len() as u32, multi);
+        }
+
+        // Observations go to their tag shard's out-of-order buffer, grouped
+        // so each shard lock is taken once per report.
+        let n_shards = self.shards.len();
+        let mut by_shard: Vec<(usize, &TagObservation)> = report
+            .observations
+            .iter()
+            .map(|o| (caraoke_city::store::shard_of_bin(o.cfo_bin, n_shards), o))
+            .collect();
+        by_shard.sort_unstable_by_key(|(s, _)| *s);
+        let mut i = 0;
+        while i < by_shard.len() {
+            let shard_idx = by_shard[i].0;
+            let mut shard = self.shards[shard_idx].lock().expect("live shard");
+            while i < by_shard.len() && by_shard[i].0 == shard_idx {
+                let obs = by_shard[i].1;
+                if obs.timestamp_us < floor {
+                    self.shed_observations.fetch_add(1, Ordering::Relaxed);
+                } else if shard.pending.len() >= self.config.max_pending_per_shard {
+                    self.overflow_shed.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shard.pending.push(*obs);
+                }
+                i += 1;
+            }
+        }
+        self.reports.fetch_add(1, Ordering::Relaxed);
+
+        // Feed the watermark last: by the time a boundary completes, every
+        // in-contract observation at or below it is already buffered.
+        if let Some(completed) = self.clock.observe(report.pole, report.timestamp_us) {
+            let target = completed.saturating_sub(self.config.lateness_panes);
+            if target > 0 {
+                self.seal_up_to(target);
+            }
+        }
+        IngestOutcome::Applied
+    }
+
+    /// Seals every pane below `target` (exclusive), in pane order.
+    fn seal_up_to(&self, target: u64) {
+        let mut sealed = self.sealed.lock().expect("sealed state");
+        if sealed.next_pane >= target {
+            return;
+        }
+        let pane_us = self.config.pane_us;
+        // One pass per shard: drain everything below the final seal frontier
+        // and bucket it by pane, so a multi-pane seal (a laggard pole
+        // catching up, or the final flush) scans each buffered observation
+        // once instead of once per pane. No in-contract delivery can add
+        // observations below `target * pane_us` concurrently: the watermark
+        // only reached `target` because every pole's frontier already passed
+        // it (see `ingest`).
+        let seal_end_us = target * pane_us;
+        let mut buckets: Vec<BTreeMap<u64, Vec<TagObservation>>> =
+            Vec::with_capacity(self.shards.len());
+        for shard_mutex in &self.shards {
+            let mut shard = shard_mutex.lock().expect("live shard");
+            let pending = std::mem::take(&mut shard.pending);
+            let (batch, rest): (Vec<_>, Vec<_>) = pending
+                .into_iter()
+                .partition(|o| o.timestamp_us < seal_end_us);
+            shard.pending = rest;
+            let mut by_pane: BTreeMap<u64, Vec<TagObservation>> = BTreeMap::new();
+            for obs in batch {
+                by_pane
+                    .entry(obs.timestamp_us / pane_us)
+                    .or_default()
+                    .push(obs);
+            }
+            buckets.push(by_pane);
+        }
+        while sealed.next_pane < target {
+            let pane = sealed.next_pane;
+            let pane_end = (pane + 1) * pane_us;
+            let mut agg = CityAggregates::new();
+
+            // Tag-derived events: sort each shard's pane batch canonically
+            // and run the shared state machine. Shard order is irrelevant
+            // (pane aggregates are commutative merges); within a shard the
+            // sort fixes the order.
+            for (shard_mutex, by_pane) in self.shards.iter().zip(buckets.iter_mut()) {
+                let Some(mut batch) = by_pane.remove(&pane) else {
+                    continue;
+                };
+                batch.sort_by_key(|o| (o.timestamp_us, o.pole.0, o.tag.0));
+                let mut shard = shard_mutex.lock().expect("live shard");
+                for obs in &batch {
+                    agg.observations += 1;
+                    shard
+                        .tracker
+                        .apply(
+                            obs,
+                            &self.directory,
+                            &self.config.store,
+                            |event| match event {
+                                DerivedEvent::Flow { segment, cycle } => {
+                                    agg.flow.record(segment, cycle)
+                                }
+                                DerivedEvent::Od { from, to } => agg.od.record(from, to),
+                                DerivedEvent::Speed { mph } => agg.speeds.record(mph),
+                            },
+                        );
+                }
+            }
+
+            // Report-level occupancy counters for this pane.
+            for stripe in &self.stripes {
+                let mut map = stripe.lock().expect("segment stripe");
+                let segments: Vec<u16> = map
+                    .range((pane, 0)..=(pane, u16::MAX))
+                    .map(|(&(_, seg), _)| seg)
+                    .collect();
+                for seg in segments {
+                    if let Some(stats) = map.remove(&(pane, seg)) {
+                        agg.segments.entry(seg).or_default().merge(&stats);
+                    }
+                }
+            }
+
+            let fingerprint = agg.fingerprint64();
+            sealed.chain.write_u64(pane);
+            sealed.chain.write_u64(fingerprint);
+            sealed.total.merge(&agg);
+            sealed.ring.push(pane, agg);
+            sealed.next_pane = pane + 1;
+            self.seal_floor_us.store(pane_end, Ordering::Release);
+        }
+    }
+
+    /// Flushes the run: seals every pane up to the latest timestamp heard,
+    /// as if every pole had reported past it. Call once ingestion ends
+    /// (the streaming analogue of the batch driver's finalize).
+    pub fn finish(&self) {
+        let max_ts = self
+            .max_ts_us
+            .load(Ordering::Acquire)
+            .max(self.clock.max_frontier_us());
+        self.seal_up_to(max_ts / self.config.pane_us + 1);
+    }
+
+    /// Current event-time low watermark, µs.
+    pub fn watermark_us(&self) -> u64 {
+        self.clock.watermark_us()
+    }
+
+    /// Number of panes sealed so far.
+    pub fn sealed_panes(&self) -> u64 {
+        self.sealed.lock().expect("sealed state").next_pane
+    }
+
+    /// The running fingerprint chain over every sealed `(pane, fingerprint)`
+    /// pair — the live determinism witness: equal chains mean byte-identical
+    /// window sequences.
+    pub fn fingerprint_chain(&self) -> u64 {
+        self.sealed.lock().expect("sealed state").chain.finish()
+    }
+
+    /// Whole-run totals: the merge of every sealed pane. After [`finish`],
+    /// byte-identical to the batch pipeline's aggregates for the same
+    /// source.
+    ///
+    /// [`finish`]: LiveCity::finish
+    pub fn totals(&self) -> CityAggregates {
+        self.sealed.lock().expect("sealed state").total.clone()
+    }
+
+    /// Telemetry snapshot.
+    pub fn stats(&self) -> LiveStats {
+        let mut buffered = 0usize;
+        let mut alias = AliasStats::default();
+        for shard_mutex in &self.shards {
+            let shard = shard_mutex.lock().expect("live shard");
+            buffered += shard.pending.len();
+            alias.merge(&shard.tracker.alias_stats());
+        }
+        let sealed = self.sealed.lock().expect("sealed state");
+        LiveStats {
+            reports: self.reports.load(Ordering::Relaxed),
+            observations: sealed.total.observations,
+            shed_reports: self.shed_reports.load(Ordering::Relaxed),
+            shed_observations: self.shed_observations.load(Ordering::Relaxed),
+            overflow_shed: self.overflow_shed.load(Ordering::Relaxed),
+            buffered_observations: buffered as u64,
+            sealed_panes: sealed.next_pane,
+            watermark_us: self.clock.watermark_us(),
+            seal_floor_us: self.seal_floor_us.load(Ordering::Acquire),
+            alias,
+        }
+    }
+
+    /// Read access to the sealed-window state for the query layer.
+    pub(crate) fn with_sealed<R>(
+        &self,
+        f: impl FnOnce(&WindowRing<CityAggregates>, &CityAggregates, u64) -> R,
+    ) -> R {
+        let sealed = self.sealed.lock().expect("sealed state");
+        f(&sealed.ring, &sealed.total, sealed.next_pane)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caraoke_city::PoleSite;
+    use caraoke_city::{PoleId, SegmentId, TagKey};
+    use caraoke_geom::Vec3;
+
+    fn directory(n: usize) -> PoleDirectory {
+        PoleDirectory::new(
+            (0..n)
+                .map(|i| PoleSite {
+                    segment: SegmentId((i / 4) as u16),
+                    position: Vec3::new(i as f64 * 30.0, -5.0, 3.8),
+                })
+                .collect(),
+        )
+    }
+
+    fn obs(tag: u64, pole: u32, segment: u16, t_us: u64) -> TagObservation {
+        TagObservation {
+            tag: TagKey(tag),
+            pole: PoleId(pole),
+            segment: SegmentId(segment),
+            cfo_bin: (tag % 615) as u32,
+            cfo_hz: (tag % 615) as f64 * 1953.125,
+            aoa_rad: 0.0,
+            has_aoa: false,
+            rssi_db: -40.0,
+            timestamp_us: t_us,
+            multi_occupied: false,
+            decoded: None,
+        }
+    }
+
+    fn report(pole: u32, segment: u16, t_us: u64, observations: Vec<TagObservation>) -> PoleReport {
+        PoleReport {
+            pole: PoleId(pole),
+            segment: SegmentId(segment),
+            timestamp_us: t_us,
+            count: observations.len() as u32,
+            peaks: observations.len() as u32,
+            observations,
+        }
+    }
+
+    fn tiny_config() -> LiveConfig {
+        LiveConfig {
+            pane_us: 1_000_000,
+            lateness_panes: 0,
+            retain_panes: 16,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn panes_seal_as_the_watermark_advances() {
+        let live = LiveCity::new(directory(2), tiny_config());
+        // Pole 0 runs ahead; nothing seals until pole 1 catches up.
+        live.ingest(&report(0, 0, 0, vec![obs(1, 0, 0, 0)]));
+        live.ingest(&report(0, 0, 2_500_000, vec![obs(1, 0, 0, 2_500_000)]));
+        assert_eq!(live.sealed_panes(), 0);
+        // Pole 1 reaches t=2.5 s: panes 0 and 1 seal (watermark 2 s).
+        live.ingest(&report(1, 0, 2_500_000, vec![obs(2, 1, 0, 2_500_000)]));
+        assert_eq!(live.sealed_panes(), 2);
+        assert_eq!(live.watermark_us(), 2_000_000);
+        // Only pane 0's observation is sealed; the t=2.5 s ones are buffered.
+        let stats = live.stats();
+        assert_eq!(stats.observations, 1);
+        assert_eq!(stats.buffered_observations, 2);
+        // Flush: everything seals.
+        live.finish();
+        let stats = live.stats();
+        assert_eq!(stats.observations, 3);
+        assert_eq!(stats.buffered_observations, 0);
+        assert_eq!(stats.sealed_panes, 3);
+        assert_eq!(stats.shed_reports, 0);
+    }
+
+    #[test]
+    fn late_reports_are_counted_and_shed_not_merged() {
+        let live = LiveCity::new(directory(2), tiny_config());
+        for pole in 0..2u32 {
+            for epoch in 0..4u64 {
+                let t = epoch * 1_000_000;
+                live.ingest(&report(pole, 0, t, vec![obs(10 + pole as u64, pole, 0, t)]));
+            }
+        }
+        assert_eq!(live.sealed_panes(), 3, "watermark at 3 s");
+        let before = live.totals().observations;
+        // A straggler from pane 0 arrives after pane 0 sealed: shed.
+        let outcome = live.ingest(&report(0, 0, 500_000, vec![obs(99, 0, 0, 500_000)]));
+        assert_eq!(outcome, IngestOutcome::ShedLate);
+        let stats = live.stats();
+        assert_eq!(stats.shed_reports, 1);
+        assert_eq!(stats.shed_observations, 1);
+        live.finish();
+        assert_eq!(
+            live.totals().observations,
+            before + 2,
+            "only the two buffered t=3s observations seal; the straggler never lands"
+        );
+    }
+
+    #[test]
+    fn lateness_allowance_delays_sealing() {
+        let mut config = tiny_config();
+        config.lateness_panes = 2;
+        let live = LiveCity::new(directory(1), config);
+        live.ingest(&report(0, 0, 3_500_000, vec![obs(1, 0, 0, 3_500_000)]));
+        // Watermark boundary 3 completed, but 2 panes of slack are held back.
+        assert_eq!(live.watermark_us(), 3_000_000);
+        assert_eq!(live.sealed_panes(), 1);
+        // A not-quite-FIFO arrival inside the allowance still lands.
+        let outcome = live.ingest(&report(0, 0, 1_200_000, vec![obs(2, 0, 0, 1_200_000)]));
+        assert_eq!(outcome, IngestOutcome::Applied);
+        live.finish();
+        assert_eq!(live.totals().observations, 2);
+        assert_eq!(live.stats().shed_observations, 0);
+    }
+
+    #[test]
+    fn overflow_beyond_the_bounded_buffer_is_shed_and_counted() {
+        let mut config = tiny_config();
+        config.max_pending_per_shard = 4;
+        config.store.shards = 1;
+        let live = LiveCity::new(directory(2), config);
+        // Pole 0 floods pane 0 with more observations than the buffer holds
+        // (pole 1 never reports, so nothing seals and nothing drains).
+        for i in 0..10u64 {
+            live.ingest(&report(0, 0, 100 + i, vec![obs(i, 0, 0, 100 + i)]));
+        }
+        let stats = live.stats();
+        assert_eq!(stats.buffered_observations, 4);
+        assert_eq!(stats.overflow_shed, 6);
+    }
+
+    #[test]
+    fn windowed_occupancy_and_flow_come_from_sealed_panes() {
+        let mut config = tiny_config();
+        config.store.light_cycle_us = 1_000_000; // one cycle per pane
+        let live = LiveCity::new(directory(2), config);
+        // Two tags walk pole 0 -> 1 across epochs; occupancy reports carry
+        // counts.
+        for epoch in 0..5u64 {
+            let t = epoch * 1_000_000;
+            live.ingest(&report(0, 0, t, vec![obs(7, 0, 0, t)]));
+            live.ingest(&report(1, 0, t, vec![obs(8, 1, 0, t)]));
+        }
+        live.finish();
+        live.with_sealed(|ring, total, next_pane| {
+            assert_eq!(next_pane, 5);
+            assert_eq!(ring.len(), 5);
+            // Every pane holds two reports and two observations for segment 0.
+            for (_, pane_agg) in ring.iter() {
+                assert_eq!(pane_agg.segments[&0].reports, 2);
+                assert_eq!(pane_agg.observations, 2);
+            }
+            // Each tag flows once per cycle: 2 tags x 5 cycles.
+            assert_eq!(total.flow.total(), 10);
+        });
+    }
+}

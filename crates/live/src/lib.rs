@@ -1,0 +1,63 @@
+//! # caraoke-live
+//!
+//! The **online** city layer: where `caraoke-city` batches a whole run and
+//! sorts at finalize, this crate applies [`PoleReport`]s *as they arrive*
+//! and keeps the analytics continuously queryable — the event-time /
+//! watermark discipline of streaming analytics systems, applied to the
+//! paper's smart-city workloads (§7, §9, §11–12).
+//!
+//! ```text
+//!               caraoke-sim
+//!                    |
+//!              caraoke-city                  batch: sharded store, sort-at-
+//!                    |                       finalize, whole-run snapshot
+//!              caraoke-live  ← this crate    online: watermarked ingest,
+//!                                            windowed aggregates, query API
+//! ```
+//!
+//! The moving parts:
+//!
+//! * [`watermark`] — per-pole frontiers and the monotone event-time low
+//!   watermark, advanced in pane-width steps with O(1) amortized cost.
+//! * [`window`] — window-keyed aggregate state: the batch tier's
+//!   [`CityAggregates`] generalized into pane ring buffers
+//!   ([`WindowRing`]), with tumbling/sliding [`WindowSpec`]s resolved to
+//!   pane runs.
+//! * [`engine`] — [`LiveCity`]: bounded out-of-order buffering per shard,
+//!   deterministic pane sealing on watermark advance, shed counting for
+//!   late arrivals, and a fingerprint chain over the sealed window
+//!   sequence.
+//! * [`query`] — [`LiveCity::query`] point-in-time answers (windowed
+//!   occupancy, flow over the last K cycles, speed percentiles, top-N OD
+//!   pairs), plus [`LiveCity::snapshot`] and the pollable
+//!   [`LiveSubscription`] hook dashboards drive.
+//! * [`driver`] — [`LiveDriver`]: streams any batch [`FrameSource`]
+//!   (synthetic or full-PHY) online, under pole-striped multi-threaded or
+//!   seeded shuffled-FIFO delivery.
+//! * [`dashboard`] — text rendering of the rolling state.
+//!
+//! Determinism is the headline contract, extended from the batch tier: for
+//! a fixed seed, any shard count, any worker count and **any arrival
+//! interleaving consistent with the watermarks** (FIFO per pole) yield a
+//! byte-identical sealed-window sequence — pinned by comparing fingerprint
+//! chains — and whole-run totals byte-identical to the batch pipeline's.
+//!
+//! [`PoleReport`]: caraoke_city::PoleReport
+//! [`CityAggregates`]: caraoke_city::CityAggregates
+//! [`FrameSource`]: caraoke_city::FrameSource
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dashboard;
+pub mod driver;
+pub mod engine;
+pub mod query;
+pub mod watermark;
+pub mod window;
+
+pub use driver::{Interleaving, LiveDriver, LiveRun};
+pub use engine::{IngestOutcome, LiveCity, LiveConfig, LiveStats};
+pub use query::{LiveAnswer, LiveQuery, LiveSnapshot, LiveSubscription, PaneSummary};
+pub use watermark::WatermarkClock;
+pub use window::{WindowAggregate, WindowRing, WindowSpec};

@@ -1,0 +1,449 @@
+//! The read side of the live engine: point-in-time queries, snapshots, and
+//! a pollable subscription over sealed window panes.
+//!
+//! Queries answer over **sealed** state only — the watermark guarantees a
+//! sealed pane can never change, so two dashboards asking the same question
+//! at the same watermark get the same answer regardless of what is still
+//! buffered above it.
+
+use crate::engine::{LiveCity, LiveStats};
+use crate::window::{WindowAggregate, WindowSpec};
+use caraoke_city::SegmentId;
+
+/// A point-in-time question against the live engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LiveQuery {
+    /// Occupancy of one segment over a trailing window: mean and peak
+    /// simultaneous count (the Fig. 13 workload, windowed).
+    Occupancy {
+        /// Segment to inspect.
+        segment: SegmentId,
+        /// Trailing window to aggregate over.
+        window: WindowSpec,
+    },
+    /// Vehicle flow through one segment over the last `k` traffic-light
+    /// cycles (the Fig. 12 workload, windowed).
+    Flow {
+        /// Segment to inspect.
+        segment: SegmentId,
+        /// Number of trailing light cycles to sum.
+        last_cycles: u32,
+    },
+    /// A speed percentile over a trailing window (§7).
+    SpeedPercentile {
+        /// Percentile, 0–100.
+        p: f64,
+        /// Trailing window to aggregate over.
+        window: WindowSpec,
+    },
+    /// The `n` busiest origin–destination pole pairs over a trailing window.
+    TopOd {
+        /// How many pairs to return.
+        n: usize,
+        /// Trailing window to aggregate over.
+        window: WindowSpec,
+    },
+    /// Where event time stands: watermark and sealed-pane count.
+    Watermark,
+}
+
+/// The answer to a [`LiveQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LiveAnswer {
+    /// Occupancy over the queried window.
+    Occupancy {
+        /// Mean simultaneous occupancy over the window's reports.
+        mean: f64,
+        /// Peak single-query count in the window.
+        peak: u32,
+        /// Pole reports the window aggregated.
+        reports: u64,
+    },
+    /// Flow over the queried cycles.
+    Flow {
+        /// Total flow events in the cycle range.
+        total: u64,
+        /// Mean flow per cycle over the queried range.
+        mean_per_cycle: f64,
+    },
+    /// Speed percentile over the queried window.
+    Speed {
+        /// The percentile value, mph.
+        mph: f64,
+        /// Speed samples the window held.
+        samples: u64,
+    },
+    /// Busiest OD pairs over the queried window.
+    TopOd {
+        /// `((from pole, to pole), transitions)`, busiest first.
+        pairs: Vec<((u32, u32), u64)>,
+    },
+    /// Event-time position.
+    Watermark {
+        /// Current low watermark, µs.
+        watermark_us: u64,
+        /// Panes sealed so far.
+        sealed_panes: u64,
+    },
+}
+
+impl LiveCity {
+    /// Answers a point-in-time question from sealed window state.
+    ///
+    /// Windows wider than the engine's retention ([`crate::LiveConfig::retain_panes`])
+    /// aggregate what is retained; [`LiveCity::snapshot`] exposes the
+    /// retention so callers can size windows to fit.
+    pub fn query(&self, query: &LiveQuery) -> LiveAnswer {
+        match *query {
+            LiveQuery::Occupancy { segment, window } => self.with_sealed(|ring, _, _| {
+                let agg = ring.window(window, self.config().pane_us);
+                match agg.segments.get(&segment.0) {
+                    Some(stats) => LiveAnswer::Occupancy {
+                        mean: stats.mean_occupancy(),
+                        peak: stats.peak_count,
+                        reports: stats.reports,
+                    },
+                    None => LiveAnswer::Occupancy {
+                        mean: 0.0,
+                        peak: 0,
+                        reports: 0,
+                    },
+                }
+            }),
+            LiveQuery::Flow {
+                segment,
+                last_cycles,
+            } => self.with_sealed(|_, total, _| {
+                // Cycles are event-time buckets; "last k" counts back from
+                // the cycle the watermark is in.
+                let cycle_us = self.config().store.light_cycle_us;
+                let now_cycle = (self.watermark_us() / cycle_us) as u32;
+                let first = now_cycle.saturating_sub(last_cycles.saturating_sub(1));
+                let sum: u64 = total
+                    .flow
+                    .per_cycle
+                    .range((segment.0, first)..=(segment.0, now_cycle))
+                    .map(|(_, &v)| v)
+                    .sum();
+                let span = (now_cycle - first + 1) as f64;
+                LiveAnswer::Flow {
+                    total: sum,
+                    mean_per_cycle: sum as f64 / span,
+                }
+            }),
+            LiveQuery::SpeedPercentile { p, window } => self.with_sealed(|ring, _, _| {
+                let agg = ring.window(window, self.config().pane_us);
+                LiveAnswer::Speed {
+                    mph: agg.speeds.percentile_mph(p),
+                    samples: agg.speeds.samples(),
+                }
+            }),
+            LiveQuery::TopOd { n, window } => self.with_sealed(|ring, _, _| {
+                let agg = ring.window(window, self.config().pane_us);
+                LiveAnswer::TopOd {
+                    pairs: agg.od.top(n),
+                }
+            }),
+            LiveQuery::Watermark => LiveAnswer::Watermark {
+                watermark_us: self.watermark_us(),
+                sealed_panes: self.sealed_panes(),
+            },
+        }
+    }
+
+    /// A cheap, pollable snapshot: telemetry plus summaries of the most
+    /// recent `last` sealed panes. The dashboard's poll target.
+    pub fn snapshot(&self, last: usize) -> LiveSnapshot {
+        let stats = self.stats();
+        let recent = self.with_sealed(|ring, _, _| {
+            let skip = ring.len().saturating_sub(last);
+            ring.iter()
+                .skip(skip)
+                .map(|(pane, agg)| PaneSummary::new(pane, self.config().pane_us, agg))
+                .collect()
+        });
+        LiveSnapshot {
+            watermark_us: stats.watermark_us,
+            retain_panes: self.config().retain_panes,
+            stats,
+            recent,
+        }
+    }
+}
+
+/// Headline numbers of one sealed pane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaneSummary {
+    /// Pane index (event time / pane width).
+    pub pane: u64,
+    /// Pane start, µs of event time.
+    pub start_us: u64,
+    /// Observations sealed into the pane.
+    pub observations: u64,
+    /// Flow events in the pane.
+    pub flow_events: u64,
+    /// Speed samples in the pane.
+    pub speed_samples: u64,
+    /// Median speed in the pane, mph (0 when no samples).
+    pub p50_speed_mph: f64,
+    /// OD transitions in the pane.
+    pub od_transitions: u64,
+    /// The pane's aggregate fingerprint.
+    pub fingerprint: u64,
+}
+
+impl PaneSummary {
+    fn new(pane: u64, pane_us: u64, agg: &caraoke_city::CityAggregates) -> Self {
+        Self {
+            pane,
+            start_us: pane * pane_us,
+            observations: agg.observations,
+            flow_events: agg.flow.total(),
+            speed_samples: agg.speeds.samples(),
+            p50_speed_mph: agg.speeds.percentile_mph(50.0),
+            od_transitions: agg.od.total(),
+            fingerprint: agg.fingerprint64(),
+        }
+    }
+}
+
+/// A pollable view of the engine: telemetry plus recent sealed panes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveSnapshot {
+    /// Current low watermark, µs.
+    pub watermark_us: u64,
+    /// How many sealed panes the engine retains for window queries.
+    pub retain_panes: usize,
+    /// Telemetry counters.
+    pub stats: LiveStats,
+    /// Summaries of the most recent sealed panes, oldest first.
+    pub recent: Vec<PaneSummary>,
+}
+
+/// A cursor over the sealed-pane stream: each [`poll`] returns the panes
+/// sealed since the previous poll. This is the subscription hook a
+/// dashboard drives — pull-based, so a slow consumer can never stall
+/// ingest; panes that fell out of retention between polls are reported as
+/// `missed`, not silently skipped.
+///
+/// [`poll`]: LiveSubscription::poll
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LiveSubscription {
+    /// Next pane index this subscription has not yet seen.
+    cursor: u64,
+}
+
+impl LiveSubscription {
+    /// Starts a subscription at the beginning of the pane stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns summaries of every pane sealed since the last poll (oldest
+    /// first) and the number of panes that were sealed but already evicted
+    /// from retention before this poll could see them.
+    pub fn poll(&mut self, live: &LiveCity) -> (Vec<PaneSummary>, u64) {
+        let cursor = self.cursor;
+        let (summaries, next, oldest_retained) = live.with_sealed(|ring, _, next_pane| {
+            let summaries: Vec<PaneSummary> = ring
+                .iter()
+                .filter(|&(pane, _)| pane >= cursor)
+                .map(|(pane, agg)| PaneSummary::new(pane, live.config().pane_us, agg))
+                .collect();
+            let oldest = ring.iter().next().map(|(p, _)| p);
+            (summaries, next_pane, oldest)
+        });
+        let missed = match oldest_retained {
+            Some(oldest) if oldest > cursor && next > cursor => {
+                (oldest - cursor).min(next - cursor)
+            }
+            None if next > cursor => next - cursor,
+            _ => 0,
+        };
+        self.cursor = next;
+        (summaries, missed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::LiveConfig;
+    use caraoke_city::{PoleDirectory, PoleId, PoleReport, PoleSite, TagKey, TagObservation};
+    use caraoke_geom::Vec3;
+
+    fn obs(tag: u64, pole: u32, segment: u16, t_us: u64) -> TagObservation {
+        TagObservation {
+            tag: TagKey(tag),
+            pole: PoleId(pole),
+            segment: SegmentId(segment),
+            cfo_bin: (tag % 615) as u32,
+            cfo_hz: 0.0,
+            aoa_rad: 0.0,
+            has_aoa: false,
+            rssi_db: -40.0,
+            timestamp_us: t_us,
+            multi_occupied: false,
+            decoded: None,
+        }
+    }
+
+    fn walk_city() -> LiveCity {
+        let directory = PoleDirectory::new(
+            (0..4)
+                .map(|i| PoleSite {
+                    segment: SegmentId(0),
+                    position: Vec3::new(i as f64 * 30.0, -5.0, 3.8),
+                })
+                .collect(),
+        );
+        let config = LiveConfig {
+            pane_us: 1_000_000,
+            lateness_panes: 0,
+            retain_panes: 8,
+            ..Default::default()
+        };
+        let live = LiveCity::new(directory, config);
+        // One tag walks pole 0 -> 1 -> 2 -> 3, one pole per second (30 m/s);
+        // every pole reports every epoch so the watermark keeps up.
+        for epoch in 0..4u64 {
+            let t = epoch * 1_000_000;
+            for pole in 0..4u32 {
+                let observations = if pole as u64 == epoch {
+                    vec![obs(5, pole, 0, t)]
+                } else {
+                    vec![]
+                };
+                live.ingest(&PoleReport {
+                    pole: PoleId(pole),
+                    segment: SegmentId(0),
+                    timestamp_us: t,
+                    count: observations.len() as u32,
+                    peaks: observations.len() as u32,
+                    observations,
+                });
+            }
+        }
+        live.finish();
+        live
+    }
+
+    #[test]
+    fn queries_answer_from_sealed_windows() {
+        let live = walk_city();
+        // Occupancy over the whole run: 16 reports, each holding <=1 tag.
+        let occupancy = live.query(&LiveQuery::Occupancy {
+            segment: SegmentId(0),
+            window: WindowSpec::tumbling(4_000_000),
+        });
+        match occupancy {
+            LiveAnswer::Occupancy { peak, reports, .. } => {
+                assert_eq!(peak, 1);
+                assert_eq!(reports, 16);
+            }
+            other => panic!("unexpected answer {other:?}"),
+        }
+        // Speeds: three 30 m / 1 s hops ≈ 67.1 mph each.
+        let speed = live.query(&LiveQuery::SpeedPercentile {
+            p: 50.0,
+            window: WindowSpec::sliding(4_000_000, 1_000_000),
+        });
+        match speed {
+            LiveAnswer::Speed { mph, samples } => {
+                assert_eq!(samples, 3);
+                assert!((mph - caraoke_geom::mps_to_mph(30.0)).abs() < 0.5, "{mph}");
+            }
+            other => panic!("unexpected answer {other:?}"),
+        }
+        // OD: the walk's three hops, one transition each.
+        let od = live.query(&LiveQuery::TopOd {
+            n: 5,
+            window: WindowSpec::tumbling(4_000_000),
+        });
+        match od {
+            LiveAnswer::TopOd { pairs } => {
+                assert_eq!(pairs.len(), 3);
+                assert!(pairs.contains(&((0, 1), 1)));
+            }
+            other => panic!("unexpected answer {other:?}"),
+        }
+        // Flow over the last cycle (60 s default cycle: everything is in
+        // cycle 0, which the watermark is also in).
+        let flow = live.query(&LiveQuery::Flow {
+            segment: SegmentId(0),
+            last_cycles: 1,
+        });
+        match flow {
+            LiveAnswer::Flow {
+                total,
+                mean_per_cycle,
+            } => {
+                assert_eq!(total, 1, "one tag entered segment 0 once");
+                assert!((mean_per_cycle - 1.0).abs() < 1e-12);
+            }
+            other => panic!("unexpected answer {other:?}"),
+        }
+        match live.query(&LiveQuery::Watermark) {
+            LiveAnswer::Watermark {
+                watermark_us,
+                sealed_panes,
+            } => {
+                assert_eq!(sealed_panes, 4);
+                assert!(watermark_us >= 3_000_000);
+            }
+            other => panic!("unexpected answer {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_and_subscription_follow_the_pane_stream() {
+        let live = walk_city();
+        let snap = live.snapshot(2);
+        assert_eq!(snap.recent.len(), 2);
+        assert_eq!(snap.recent[0].pane, 2);
+        assert_eq!(snap.recent[1].pane, 3);
+        assert!(snap.recent.iter().all(|p| p.fingerprint != 0));
+        assert_eq!(snap.stats.observations, 4);
+
+        let mut sub = LiveSubscription::new();
+        let (panes, missed) = sub.poll(&live);
+        assert_eq!(missed, 0, "retention (8) covers all 4 panes");
+        assert_eq!(panes.len(), 4);
+        // Nothing new sealed since: the next poll is empty.
+        let (panes, missed) = sub.poll(&live);
+        assert!(panes.is_empty());
+        assert_eq!(missed, 0);
+    }
+
+    #[test]
+    fn subscription_reports_evicted_panes_as_missed() {
+        let directory = PoleDirectory::new(vec![PoleSite {
+            segment: SegmentId(0),
+            position: Vec3::new(0.0, -5.0, 3.8),
+        }]);
+        let config = LiveConfig {
+            pane_us: 1_000_000,
+            lateness_panes: 0,
+            retain_panes: 2,
+            ..Default::default()
+        };
+        let live = LiveCity::new(directory, config);
+        for epoch in 0..6u64 {
+            let t = epoch * 1_000_000;
+            live.ingest(&PoleReport {
+                pole: PoleId(0),
+                segment: SegmentId(0),
+                timestamp_us: t,
+                count: 0,
+                peaks: 0,
+                observations: vec![],
+            });
+        }
+        live.finish();
+        // 6 panes sealed, 2 retained: a fresh subscriber missed 4.
+        let mut sub = LiveSubscription::new();
+        let (panes, missed) = sub.poll(&live);
+        assert_eq!(panes.len(), 2);
+        assert_eq!(missed, 4);
+    }
+}

@@ -1,0 +1,176 @@
+//! Event-time watermark tracking.
+//!
+//! The live engine's notion of "now" is an **event-time low watermark**, the
+//! discipline streaming analytics systems use for out-of-order input: every
+//! pole's reports carry monotone timestamps, the clock tracks each pole's
+//! *frontier* (latest timestamp heard from it), and the watermark is the
+//! largest pane boundary that **every** pole's frontier has passed. Once the
+//! watermark passes a pane, no in-contract delivery can add observations to
+//! it, so the pane can be sealed — aggregated, fingerprinted and evicted —
+//! deterministically.
+//!
+//! The contract that makes this cheap and exact: delivery must be **FIFO per
+//! pole** (any interleaving *across* poles is fine). Reports that violate it
+//! by more than the engine's lateness allowance are counted and shed, never
+//! silently merged (see [`crate::engine::LiveCity`]).
+//!
+//! Complexity: the clock never scans all poles. It keeps one counter per
+//! open pane boundary ("how many poles have passed this boundary"), so an
+//! `observe` costs O(panes crossed by this report), amortized O(1) at a
+//! steady report cadence — this is what lets the watermark keep up with the
+//! batch tier's millions of observations per second.
+
+use caraoke_city::PoleId;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Tracks per-pole frontiers and derives the monotone low watermark, in
+/// units of fixed-width *panes* (see [`crate::window`]).
+#[derive(Debug)]
+pub struct WatermarkClock {
+    pane_us: u64,
+    inner: Mutex<ClockInner>,
+}
+
+#[derive(Debug)]
+struct ClockInner {
+    /// Latest timestamp heard from each pole (µs). Starts at 0, which counts
+    /// as "has passed boundary 0": the watermark cannot advance until every
+    /// pole has reported.
+    frontier: Vec<u64>,
+    /// Boundary index every pole has passed: `frontier[p] >= completed *
+    /// pane_us` for all `p`. The watermark is `completed * pane_us`.
+    completed: u64,
+    /// `counts[i]` = poles whose frontier has passed boundary
+    /// `completed + 1 + i`.
+    counts: VecDeque<usize>,
+}
+
+impl WatermarkClock {
+    /// Creates a clock over `n_poles` poles with the given pane width.
+    pub fn new(n_poles: usize, pane_us: u64) -> Self {
+        assert!(n_poles > 0, "a deployment needs at least one pole");
+        assert!(pane_us > 0, "panes must have nonzero width");
+        Self {
+            pane_us,
+            inner: Mutex::new(ClockInner {
+                frontier: vec![0; n_poles],
+                completed: 0,
+                counts: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Pane width, µs.
+    pub fn pane_us(&self) -> u64 {
+        self.pane_us
+    }
+
+    /// Feeds one pole report timestamp. Returns `Some(completed)` — the new
+    /// highest completed boundary index — when the watermark advanced.
+    ///
+    /// Out-of-order timestamps (below the pole's frontier) are accepted and
+    /// simply don't move the frontier; whether the *observations* they carry
+    /// are still usable is the engine's lateness decision, not the clock's.
+    pub fn observe(&self, pole: PoleId, timestamp_us: u64) -> Option<u64> {
+        let mut inner = self.inner.lock().expect("watermark clock");
+        let n_poles = inner.frontier.len();
+        let old = inner.frontier[pole.0 as usize];
+        if timestamp_us <= old {
+            return None;
+        }
+        inner.frontier[pole.0 as usize] = timestamp_us;
+        let completed = inner.completed;
+        let b_old = (old / self.pane_us).max(completed);
+        let b_new = timestamp_us / self.pane_us;
+        for b in (b_old + 1)..=b_new {
+            let idx = (b - completed - 1) as usize;
+            if inner.counts.len() <= idx {
+                inner.counts.resize(idx + 1, 0);
+            }
+            inner.counts[idx] += 1;
+        }
+        let mut advanced = false;
+        while inner.counts.front() == Some(&n_poles) {
+            inner.counts.pop_front();
+            inner.completed += 1;
+            advanced = true;
+        }
+        advanced.then_some(inner.completed)
+    }
+
+    /// The current low watermark, µs: every pole has reported up to here.
+    pub fn watermark_us(&self) -> u64 {
+        self.inner.lock().expect("watermark clock").completed * self.pane_us
+    }
+
+    /// Highest boundary index every pole has passed.
+    pub fn completed(&self) -> u64 {
+        self.inner.lock().expect("watermark clock").completed
+    }
+
+    /// The largest frontier over all poles, µs — how far ahead of the
+    /// watermark the fastest pole is (used by `finish` to flush).
+    pub fn max_frontier_us(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("watermark clock")
+            .frontier
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_waits_for_the_slowest_pole() {
+        let clock = WatermarkClock::new(3, 1_000);
+        // Two poles race ahead; the watermark stays at 0.
+        assert_eq!(clock.observe(PoleId(0), 5_500), None);
+        assert_eq!(clock.observe(PoleId(1), 9_000), None);
+        assert_eq!(clock.watermark_us(), 0);
+        // The slowest pole reaches 3.2 ms: boundaries 1..=3 complete.
+        assert_eq!(clock.observe(PoleId(2), 3_200), Some(3));
+        assert_eq!(clock.watermark_us(), 3_000);
+        // It advances again: the watermark follows min(frontier), not max.
+        assert_eq!(clock.observe(PoleId(2), 5_100), Some(5));
+        assert_eq!(clock.watermark_us(), 5_000);
+        assert_eq!(clock.max_frontier_us(), 9_000);
+    }
+
+    #[test]
+    fn watermark_is_monotone_under_any_interleaving() {
+        let deliveries: &[(u32, u64)] = &[
+            (0, 1_500),
+            (1, 900),
+            (1, 2_100),
+            (0, 700), // out of order for pole 0: ignored by the frontier
+            (2, 4_000),
+            (0, 3_800),
+            (1, 4_400),
+            (2, 2_000), // out of order for pole 2
+        ];
+        let clock = WatermarkClock::new(3, 1_000);
+        let mut last = 0;
+        for &(pole, ts) in deliveries {
+            clock.observe(PoleId(pole), ts);
+            let w = clock.watermark_us();
+            assert!(w >= last, "watermark regressed: {w} < {last}");
+            last = w;
+        }
+        // min frontier = min(3_800, 4_400, 4_000) -> boundary 3.
+        assert_eq!(clock.watermark_us(), 3_000);
+    }
+
+    #[test]
+    fn single_pole_watermark_tracks_its_frontier() {
+        let clock = WatermarkClock::new(1, 500);
+        assert_eq!(clock.observe(PoleId(0), 1_700), Some(3));
+        assert_eq!(clock.watermark_us(), 1_500);
+    }
+}

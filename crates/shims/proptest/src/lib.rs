@@ -111,7 +111,7 @@ pub mod collection {
     use rand::RngExt;
     use std::ops::Range;
 
-    /// Element count for [`vec`]: exact or sampled from a range.
+    /// Element count for [`vec()`]: exact or sampled from a range.
     #[derive(Debug, Clone)]
     pub enum SizeRange {
         /// Exactly this many elements.

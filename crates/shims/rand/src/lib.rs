@@ -67,7 +67,7 @@ pub trait SeedableRng: Sized {
     fn seed_from_u64(seed: u64) -> Self;
 }
 
-/// Types samplable from their "standard" distribution via [`Rng::random`].
+/// Types samplable from their "standard" distribution via [`RngExt::random`].
 pub trait SampleStandard {
     /// Draws one value from `rng`.
     fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
@@ -115,7 +115,7 @@ macro_rules! impl_standard_int {
 }
 impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
-/// Range types usable with [`Rng::random_range`].
+/// Range types usable with [`RngExt::random_range`].
 pub trait SampleRange<T> {
     /// Samples one value uniformly from `self`.
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
