@@ -30,6 +30,7 @@ fn driver(workers: usize, shards: usize) -> BatchDriver {
 }
 
 fn bench(c: &mut Criterion) {
+    let mut json_results: Vec<(String, String)> = Vec::new();
     for &(label, poles, epochs) in SHAPES {
         let source = SyntheticCity::new(poles, epochs, 17);
         // Report throughput and check determinism once, outside the timing loop.
@@ -53,9 +54,30 @@ fn bench(c: &mut Criterion) {
             run.observations_per_sec(),
             run.aggregates.fingerprint()
         );
+        json_results.push((
+            format!("{label}_observations"),
+            run.observations.to_string(),
+        ));
+        json_results.push((
+            format!("{label}_obs_per_sec"),
+            format!("{:.0}", run.observations_per_sec()),
+        ));
+        json_results.push((
+            format!("{label}_fingerprint"),
+            format!("\"{:#018x}\"", run.aggregates.fingerprint()),
+        ));
         c.bench_function(label, |b| {
             b.iter(|| std::hint::black_box(driver(8, 16).run(&source).observations))
         });
+    }
+    // Machine-readable record for the cross-PR perf trajectory.
+    match caraoke_bench::write_bench_json(
+        "city",
+        &[("workers", 8.to_string()), ("shards", 16.to_string())],
+        &json_results,
+    ) {
+        Ok(path) => println!("city_scale: wrote {}", path.display()),
+        Err(err) => eprintln!("city_scale: could not write BENCH_city.json: {err}"),
     }
 }
 

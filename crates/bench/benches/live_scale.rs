@@ -84,6 +84,44 @@ fn bench(c: &mut Criterion) {
         striped.chain_fingerprint,
     );
 
+    // Machine-readable record for the cross-PR perf trajectory.
+    match caraoke_bench::write_bench_json(
+        "live",
+        &[
+            ("poles", POLES.to_string()),
+            ("epochs", EPOCHS.to_string()),
+            ("workers", 8.to_string()),
+            ("shards", 16.to_string()),
+        ],
+        &[
+            ("observations", striped.stats.observations.to_string()),
+            (
+                "online_obs_per_sec",
+                format!("{:.0}", striped.observations_per_sec()),
+            ),
+            (
+                "batch_obs_per_sec",
+                format!("{:.0}", batch.observations_per_sec()),
+            ),
+            (
+                "online_over_batch",
+                format!(
+                    "{:.3}",
+                    striped.observations_per_sec() / batch.observations_per_sec()
+                ),
+            ),
+            (
+                "chain_fingerprint",
+                format!("\"{:#018x}\"", striped.chain_fingerprint),
+            ),
+            ("interleaving_invariant", "true".to_string()),
+            ("totals_match_batch", "true".to_string()),
+        ],
+    ) {
+        Ok(path) => println!("live_scale: wrote {}", path.display()),
+        Err(err) => eprintln!("live_scale: could not write BENCH_live.json: {err}"),
+    }
+
     c.bench_function("live_scale_1k_poles_1M_obs_online", |b| {
         b.iter(|| {
             std::hint::black_box(

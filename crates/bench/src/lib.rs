@@ -68,6 +68,52 @@ impl Row {
     }
 }
 
+/// Best-effort current git revision (short hash), `"unknown"` outside a
+/// repository — stamped into the benchmark JSON records so the perf
+/// trajectory can be tracked across PRs.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Writes `BENCH_<name>.json` at the workspace root: a flat, hand-rolled
+/// JSON record (`bench`, `git_rev`, a `config` object, a `results` object)
+/// that CI and later PRs can diff without parsing Criterion output. Values
+/// are pre-rendered JSON fragments (numbers or quoted strings); keys may be
+/// borrowed or owned.
+pub fn write_bench_json(
+    name: &str,
+    config: &[(impl AsRef<str>, String)],
+    results: &[(impl AsRef<str>, String)],
+) -> std::io::Result<std::path::PathBuf> {
+    fn section(json: &mut String, title: &str, fields: &[(impl AsRef<str>, String)], last: bool) {
+        json.push_str(&format!("  \"{title}\": {{\n"));
+        for (i, (key, value)) in fields.iter().enumerate() {
+            let comma = if i + 1 < fields.len() { "," } else { "" };
+            json.push_str(&format!("    \"{}\": {value}{comma}\n", key.as_ref()));
+        }
+        json.push_str(if last { "  }\n" } else { "  },\n" });
+    }
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"bench\": \"{name}\",\n"));
+    json.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
+    section(&mut json, "config", config, false);
+    section(&mut json, "results", results, true);
+    json.push_str("}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
 /// Formats rows as an aligned text table.
 pub fn format_rows(title: &str, rows: &[Row]) -> String {
     let mut out = String::new();
@@ -600,6 +646,13 @@ pub fn city_scale(n_poles: usize, epochs: usize, workers: usize, seed: u64) -> V
         ..driver
     }
     .run(&source);
+    // Hard assert (not just a reported row): the CI smoke runs this reduced
+    // and must fail loudly on a determinism regression.
+    assert_eq!(
+        single.aggregates.fingerprint(),
+        run.aggregates.fingerprint(),
+        "batch aggregates must be byte-identical across shard/worker counts"
+    );
     rows.push(Row::new(
         "shard invariance",
         vec![
@@ -660,6 +713,21 @@ pub fn live_scale(n_poles: usize, epochs: usize, workers: usize, seed: u64) -> V
     // must match the batch pipeline byte-for-byte.
     let single = driver(1, 1, Interleaving::PoleStriped).run(&source);
     let shuffled = driver(1, 4, Interleaving::ShuffledFifo { seed: seed ^ 0xA5 }).run(&source);
+    // Hard asserts for the CI smoke: interleaving invariance and live ==
+    // batch must fail the run, not just flip a reported flag.
+    assert_eq!(
+        run.chain_fingerprint, single.chain_fingerprint,
+        "window chain must be invariant to shard/worker counts"
+    );
+    assert_eq!(
+        run.chain_fingerprint, shuffled.chain_fingerprint,
+        "window chain must be invariant to arrival interleaving"
+    );
+    assert_eq!(
+        run.totals.fingerprint(),
+        batch.aggregates.fingerprint(),
+        "online totals must equal the batch aggregates"
+    );
     rows.push(Row::new(
         "window invariance",
         vec![

@@ -395,6 +395,16 @@ pub fn shard_of_bin(cfo_bin: u32, shards: usize) -> usize {
     ((cfo_bin as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % shards
 }
 
+/// The canonical per-shard observation order — `(timestamp, pole, tag)` —
+/// shared by the batch store's sort-at-finalize and the live engine's
+/// pane sealing, so both tiers run the [`TagTracker`] state machine over
+/// the exact same sequence. Observations with equal keys can only come from
+/// a single report (a pole emits one report per timestamp); callers that
+/// need a total order disambiguate with the within-report index.
+pub fn canonical_obs_key(obs: &TagObservation) -> (u64, u32, u64) {
+    (obs.timestamp_us, obs.pole.0, obs.tag.0)
+}
+
 impl ShardedStore {
     /// Creates a store over the given deployment.
     pub fn new(directory: PoleDirectory, config: StoreConfig) -> Self {
@@ -465,7 +475,7 @@ impl ShardedStore {
     /// by `finalize`, possibly from several worker threads (one per shard).
     fn apply_shard(&self, shard: &mut TagShard) {
         let mut pending = std::mem::take(&mut shard.pending);
-        pending.sort_by_key(|o| (o.timestamp_us, o.pole.0, o.tag.0));
+        pending.sort_by_key(canonical_obs_key);
         let TagShard { tracker, agg, .. } = shard;
         for obs in pending {
             agg.observations += 1;

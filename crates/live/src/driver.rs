@@ -3,7 +3,10 @@
 //! The batch driver generates everything, then sorts, then aggregates; this
 //! driver *delivers* — each report is applied the moment it is produced, and
 //! windows seal behind the watermark while later epochs are still being
-//! generated. Two delivery disciplines exercise the determinism contract:
+//! generated. The ingest threads spawned here never seal: they buffer into
+//! their own worker slots and signal the engine's dedicated sealer thread,
+//! so generation, ingestion and sealing overlap for the whole run. Two
+//! delivery disciplines exercise the determinism contract:
 //!
 //! * [`Interleaving::PoleStriped`] — `workers` threads each own a stripe of
 //!   poles and stream their reports in epoch order. Per-pole FIFO holds by

@@ -1,20 +1,30 @@
 //! The online ingest engine.
 //!
 //! [`LiveCity`] applies [`PoleReport`]s **as they arrive** — no
-//! sort-at-finalize. The pieces:
+//! sort-at-finalize. The hot path is built so that ingest threads never
+//! block on shared state and never allocate per report:
 //!
-//! * a [`WatermarkClock`] derives the event-time low watermark from pole
-//!   report timestamps (every pole's stream is monotone);
-//! * each tag shard keeps a **bounded out-of-order buffer** of observations
-//!   above the watermark; reports and observations *below* the sealed
-//!   frontier — late beyond the lateness allowance — are **counted and
-//!   shed**, never silently merged into already-sealed windows;
-//! * when the watermark advances, complete panes are **sealed**: each
-//!   shard's buffered observations for the pane are sorted canonically,
-//!   run through the shared [`TagTracker`] state machine (the same one the
-//!   batch store uses, §8 alias upgrades included), folded into one pane
-//!   aggregate, fingerprinted into the engine's **fingerprint chain**, and
-//!   pushed into the retained [`WindowRing`].
+//! * a lock-free [`WatermarkClock`] derives the event-time low watermark
+//!   from pole report timestamps (per-pole atomic frontiers; every pole's
+//!   stream is monotone);
+//! * each ingest thread owns a **worker slot** — a thread-local out-of-order
+//!   buffer (observations above the watermark, plus a flat pane-indexed
+//!   table of report-level segment counters). A slot's mutex is only ever
+//!   contended by the sealer, never by other ingest threads, so pushing a
+//!   report is an uncontended lock plus a few appends: no global locks, no
+//!   per-report allocation, no sorting;
+//! * a **dedicated sealer thread** (spawned by [`LiveCity::new`], woken by a
+//!   condvar whenever the watermark advances) drains the worker slots,
+//!   establishes the canonical order with one sort, runs the shared
+//!   [`TagTracker`] state machines (the same ones the batch store uses, §8
+//!   alias upgrades included), folds each pane into one aggregate,
+//!   fingerprints it into the engine's **fingerprint chain**, and pushes it
+//!   into the retained [`WindowRing`]. Ingest threads only buffer and
+//!   signal; they never seal.
+//!
+//! Reports and observations *below* the sealed frontier — late beyond the
+//! lateness allowance — are **counted and shed**, never silently merged
+//! into already-sealed windows.
 //!
 //! # Determinism contract
 //!
@@ -24,24 +34,33 @@
 //! panes, hence an identical fingerprint chain and totals. Why: a pane is
 //! sealed only once every pole's frontier has passed it (plus the lateness
 //! allowance), and per-pole FIFO delivery means every observation of the
-//! pane is buffered by then; the canonical per-pane sort erases the
-//! remaining cross-pole arrival freedom, exactly like the batch store's
+//! pane is buffered in some worker slot by then; the canonical sort —
+//! `(pane, shard, timestamp, pole, tag, seq)`, where `seq` is the
+//! observation's index within its report — erases the remaining cross-pole
+//! and cross-worker arrival freedom, exactly like the batch store's
 //! sort-at-finalize — but windows seal *online*, with bounded memory.
 //! The live totals are moreover byte-identical to a [`BatchDriver`] run of
 //! the same source (the end-to-end tests pin both properties).
+//!
+//! Because sealing is asynchronous, *when* a pane appears in the ring is
+//! timing-dependent even though *what* it contains is not. Callers that
+//! assert on sealed state mid-stream should call [`LiveCity::wait_idle`]
+//! first; [`LiveCity::finish`] always waits for the final flush.
 //!
 //! [`BatchDriver`]: caraoke_city::BatchDriver
 
 use crate::watermark::WatermarkClock;
 use crate::window::{WindowAggregate, WindowRing};
 use caraoke_city::aggregate::Fingerprint;
-use caraoke_city::store::{AliasStats, DerivedEvent, TagTracker};
+use caraoke_city::store::{canonical_obs_key, AliasStats, DerivedEvent, TagTracker};
 use caraoke_city::{
     CityAggregates, PoleDirectory, PoleReport, SegmentStats, StoreConfig, TagObservation,
 };
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Tuning knobs of the online engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,9 +77,10 @@ pub struct LiveConfig {
     /// Sealed panes retained for window queries; older panes are evicted
     /// (their counts stay in the running totals and fingerprint chain).
     pub retain_panes: usize,
-    /// Bound on each shard's out-of-order buffer; observations beyond it
-    /// are shed and counted (`overflow_shed`), never dropped silently.
-    pub max_pending_per_shard: usize,
+    /// Bound on each ingest worker's out-of-order buffer; observations
+    /// beyond it are shed and counted (`overflow_shed`), never dropped
+    /// silently.
+    pub max_pending_per_worker: usize,
 }
 
 impl Default for LiveConfig {
@@ -70,7 +90,7 @@ impl Default for LiveConfig {
             pane_us: 1_500_000,
             lateness_panes: 1,
             retain_panes: 64,
-            max_pending_per_shard: 1 << 20,
+            max_pending_per_worker: 1 << 20,
         }
     }
 }
@@ -96,7 +116,7 @@ pub struct LiveStats {
     pub shed_reports: u64,
     /// Individual observations shed as late.
     pub shed_observations: u64,
-    /// Observations shed because a shard's out-of-order buffer was full.
+    /// Observations shed because a worker's out-of-order buffer was full.
     pub overflow_shed: u64,
     /// Observations currently buffered above the watermark.
     pub buffered_observations: u64,
@@ -110,15 +130,96 @@ pub struct LiveStats {
     pub alias: AliasStats,
 }
 
-/// One tag shard of the live engine: the out-of-order buffer plus the
-/// shared per-tag state machine.
-#[derive(Debug, Default)]
-struct LiveShard {
-    pending: Vec<TagObservation>,
-    tracker: TagTracker,
+/// One buffered observation plus the routing facts the sealer needs:
+/// the tag shard (computed once, at ingest) and the observation's index
+/// within its report (`seq`), which breaks canonical-sort ties between
+/// observations sharing `(timestamp, pole, tag)` — such ties can only come
+/// from one report, so `seq` restores a deterministic total order no matter
+/// which worker buffered them.
+#[derive(Debug, Clone, Copy)]
+struct PendingObs {
+    shard: u32,
+    seq: u32,
+    obs: TagObservation,
 }
 
-/// Sealed-window state, guarded by one mutex so seals are serialized and
+/// Report-level segment counters, pane-keyed: a sorted list of **occupied**
+/// panes, each holding its `(segment, stats)` rows. The hot path (a report
+/// for the newest pane) touches the last entry in O(1); out-of-order panes
+/// within the lateness allowance binary-search. Memory is O(occupied panes
+/// × segments-per-worker) no matter how far a fast pole runs ahead of a
+/// laggard — a dense `pane - base` table would grow with the pane *span*.
+/// Replaces the old lock-striped `BTreeMap<(pane, segment), _>`.
+#[derive(Debug, Default)]
+struct SegPanes {
+    /// `(pane, rows)`, sorted by pane; only panes that saw a report.
+    panes: Vec<(u64, Vec<(u16, SegmentStats)>)>,
+}
+
+impl SegPanes {
+    fn record(&mut self, pane: u64, segment: u16, count: u32, observations: u32, multi: u32) {
+        let idx = match self.panes.last() {
+            Some(&(last, _)) if last == pane => self.panes.len() - 1,
+            Some(&(last, _)) if last < pane => {
+                self.panes.push((pane, Vec::new()));
+                self.panes.len() - 1
+            }
+            _ => match self.panes.binary_search_by_key(&pane, |&(p, _)| p) {
+                Ok(idx) => idx,
+                Err(idx) => {
+                    self.panes.insert(idx, (pane, Vec::new()));
+                    idx
+                }
+            },
+        };
+        let rows = &mut self.panes[idx].1;
+        match rows.iter_mut().find(|(seg, _)| *seg == segment) {
+            Some((_, stats)) => stats.record_report(count, observations, multi),
+            None => {
+                let mut stats = SegmentStats::default();
+                stats.record_report(count, observations, multi);
+                rows.push((segment, stats));
+            }
+        }
+    }
+
+    /// Removes every pane below `target` (in pane order), handing its rows
+    /// to `f`.
+    fn drain_below(&mut self, target: u64, mut f: impl FnMut(u64, u16, SegmentStats)) {
+        let cut = self.panes.partition_point(|&(pane, _)| pane < target);
+        for (pane, rows) in self.panes.drain(..cut) {
+            for (seg, stats) in rows {
+                f(pane, seg, stats);
+            }
+        }
+    }
+}
+
+/// One ingest worker's private buffers. The mutex is uncontended in steady
+/// state: only the owning thread pushes, and the sealer drains it briefly
+/// at watermark advances.
+#[derive(Debug, Default)]
+struct WorkerBuf {
+    pending: Vec<PendingObs>,
+    seg: SegPanes,
+}
+
+#[derive(Debug, Default)]
+struct WorkerSlot {
+    buf: Mutex<WorkerBuf>,
+}
+
+/// One observation staged for sealing, tagged with its pane.
+#[derive(Debug, Clone, Copy)]
+struct SealEntry {
+    pane: u64,
+    shard: u32,
+    seq: u32,
+    obs: TagObservation,
+}
+
+/// Sealed-window state plus the sealer's private machinery (trackers and
+/// scratch), guarded by one mutex so seals are serialized with queries and
 /// the chain/ring/totals stay mutually consistent.
 struct SealedState {
     /// Next pane index to seal.
@@ -129,250 +230,181 @@ struct SealedState {
     chain: Fingerprint,
     /// Whole-run totals (merge of every sealed pane, retained or not).
     total: CityAggregates,
+    /// Per-shard tag state machines, owned by the sealer (sealing was
+    /// always serialized; owning them here removes the per-shard mutexes
+    /// the ingest path used to take).
+    trackers: Vec<TagTracker>,
+    /// Reusable staging buffer for drained observations.
+    scratch: Vec<SealEntry>,
 }
 
-/// The online city engine. See the module docs for the architecture and
-/// the determinism contract; see [`crate::query`] for the read side.
-pub struct LiveCity {
+/// What the ingest side tells the sealer thread.
+struct SealerSignal {
+    /// Highest pane boundary (exclusive) the sealer has been asked to reach.
+    target: u64,
+    /// Set by `Drop`: finish the outstanding target, then exit.
+    shutdown: bool,
+}
+
+/// Engine identity for the thread-local worker-slot cache (engines must not
+/// share slots, and ids must outlive any engine they ever named).
+static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// This thread's worker slots, one per engine it has ingested into.
+    /// Entries for dropped engines are pruned on the next registration.
+    static WORKER_SLOTS: RefCell<Vec<(u64, Arc<WorkerSlot>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Shared core of the engine: everything both the ingest threads and the
+/// sealer thread touch.
+struct LiveCore {
     directory: PoleDirectory,
     config: LiveConfig,
+    engine_id: u64,
+    n_shards: usize,
     clock: WatermarkClock,
-    shards: Vec<Mutex<LiveShard>>,
-    stripes: Vec<Mutex<BTreeMap<(u64, u16), SegmentStats>>>,
+    /// Registry of every worker slot ever handed out (the sealer drains
+    /// these; ingest threads reach their own slot through the thread-local
+    /// cache without touching this lock).
+    workers: Mutex<Vec<Arc<WorkerSlot>>>,
     sealed: Mutex<SealedState>,
+    /// Notified after every seal batch (pairs with `sealed`): wakes
+    /// `finish`, `wait_idle` and blocking subscriptions.
+    pane_sealed: Condvar,
+    signal: Mutex<SealerSignal>,
+    /// Wakes the sealer thread (pairs with `signal`).
+    seal_wake: Condvar,
     /// Cache of `next_pane * pane_us`, readable without the sealed lock.
     seal_floor_us: AtomicU64,
-    max_ts_us: AtomicU64,
     reports: AtomicU64,
     shed_reports: AtomicU64,
     shed_observations: AtomicU64,
     overflow_shed: AtomicU64,
 }
 
+/// The online city engine. See the module docs for the architecture and
+/// the determinism contract; see [`crate::query`] for the read side.
+///
+/// Owns a dedicated sealer thread for its whole lifetime: `new` spawns it,
+/// `Drop` signals shutdown and joins it.
+pub struct LiveCity {
+    core: Arc<LiveCore>,
+    sealer: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
 impl LiveCity {
-    /// Creates an engine over the given deployment.
+    /// Creates an engine over the given deployment and spawns its sealer
+    /// thread.
     pub fn new(directory: PoleDirectory, config: LiveConfig) -> Self {
         let shards = config.store.shards.max(1);
-        let stripes = config.store.segment_stripes.max(1);
-        Self {
+        let core = Arc::new(LiveCore {
             clock: WatermarkClock::new(directory.len(), config.pane_us),
-            shards: (0..shards)
-                .map(|_| Mutex::new(LiveShard::default()))
-                .collect(),
-            stripes: (0..stripes).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            engine_id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
+            n_shards: shards,
+            workers: Mutex::new(Vec::new()),
             sealed: Mutex::new(SealedState {
                 next_pane: 0,
                 ring: WindowRing::new(config.retain_panes),
                 chain: Fingerprint::new(),
                 total: CityAggregates::new(),
+                trackers: (0..shards).map(|_| TagTracker::new()).collect(),
+                scratch: Vec::new(),
             }),
+            pane_sealed: Condvar::new(),
+            signal: Mutex::new(SealerSignal {
+                target: 0,
+                shutdown: false,
+            }),
+            seal_wake: Condvar::new(),
             seal_floor_us: AtomicU64::new(0),
-            max_ts_us: AtomicU64::new(0),
             reports: AtomicU64::new(0),
             shed_reports: AtomicU64::new(0),
             shed_observations: AtomicU64::new(0),
             overflow_shed: AtomicU64::new(0),
             directory,
             config,
+        });
+        let sealer_core = Arc::clone(&core);
+        let sealer = std::thread::Builder::new()
+            .name("caraoke-live-sealer".into())
+            .spawn(move || sealer_core.sealer_loop())
+            .expect("spawn sealer thread");
+        Self {
+            core,
+            sealer: Mutex::new(Some(sealer)),
         }
     }
 
     /// The deployment directory.
     pub fn directory(&self) -> &PoleDirectory {
-        &self.directory
+        &self.core.directory
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &LiveConfig {
-        &self.config
+        &self.core.config
     }
 
     /// Applies one pole report as it arrives. Safe to call from many
     /// threads at once; each pole's reports must be delivered FIFO (the
     /// watermark contract) — reports older than the sealed frontier are
     /// counted and shed.
+    ///
+    /// Lock-light: the only lock taken is the calling thread's own worker
+    /// slot (contended only by the sealer), plus — on the rare report that
+    /// advances the watermark — the sealer wake-up signal.
     pub fn ingest(&self, report: &PoleReport) -> IngestOutcome {
-        let floor = self.seal_floor_us.load(Ordering::Acquire);
-        if report.timestamp_us < floor {
-            self.shed_reports.fetch_add(1, Ordering::Relaxed);
-            self.shed_observations
-                .fetch_add(report.len() as u64, Ordering::Relaxed);
-            return IngestOutcome::ShedLate;
-        }
-        self.max_ts_us
-            .fetch_max(report.timestamp_us, Ordering::AcqRel);
-
-        // Report-level occupancy counters go to the pane-keyed segment
-        // stripe (order-free integer merges, so no buffering needed).
-        let pane = report.timestamp_us / self.config.pane_us;
-        let multi = report
-            .observations
-            .iter()
-            .filter(|o| o.multi_occupied)
-            .count() as u32;
-        {
-            let stripe = report.segment.0 as usize % self.stripes.len();
-            let mut map = self.stripes[stripe].lock().expect("segment stripe");
-            map.entry((pane, report.segment.0))
-                .or_default()
-                .record_report(report.count, report.observations.len() as u32, multi);
-        }
-
-        // Observations go to their tag shard's out-of-order buffer, grouped
-        // so each shard lock is taken once per report.
-        let n_shards = self.shards.len();
-        let mut by_shard: Vec<(usize, &TagObservation)> = report
-            .observations
-            .iter()
-            .map(|o| (caraoke_city::store::shard_of_bin(o.cfo_bin, n_shards), o))
-            .collect();
-        by_shard.sort_unstable_by_key(|(s, _)| *s);
-        let mut i = 0;
-        while i < by_shard.len() {
-            let shard_idx = by_shard[i].0;
-            let mut shard = self.shards[shard_idx].lock().expect("live shard");
-            while i < by_shard.len() && by_shard[i].0 == shard_idx {
-                let obs = by_shard[i].1;
-                if obs.timestamp_us < floor {
-                    self.shed_observations.fetch_add(1, Ordering::Relaxed);
-                } else if shard.pending.len() >= self.config.max_pending_per_shard {
-                    self.overflow_shed.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    shard.pending.push(*obs);
-                }
-                i += 1;
-            }
-        }
-        self.reports.fetch_add(1, Ordering::Relaxed);
-
-        // Feed the watermark last: by the time a boundary completes, every
-        // in-contract observation at or below it is already buffered.
-        if let Some(completed) = self.clock.observe(report.pole, report.timestamp_us) {
-            let target = completed.saturating_sub(self.config.lateness_panes);
-            if target > 0 {
-                self.seal_up_to(target);
-            }
-        }
-        IngestOutcome::Applied
+        self.core.ingest(report)
     }
 
-    /// Seals every pane below `target` (exclusive), in pane order.
-    fn seal_up_to(&self, target: u64) {
-        let mut sealed = self.sealed.lock().expect("sealed state");
-        if sealed.next_pane >= target {
-            return;
-        }
-        let pane_us = self.config.pane_us;
-        // One pass per shard: drain everything below the final seal frontier
-        // and bucket it by pane, so a multi-pane seal (a laggard pole
-        // catching up, or the final flush) scans each buffered observation
-        // once instead of once per pane. No in-contract delivery can add
-        // observations below `target * pane_us` concurrently: the watermark
-        // only reached `target` because every pole's frontier already passed
-        // it (see `ingest`).
-        let seal_end_us = target * pane_us;
-        let mut buckets: Vec<BTreeMap<u64, Vec<TagObservation>>> =
-            Vec::with_capacity(self.shards.len());
-        for shard_mutex in &self.shards {
-            let mut shard = shard_mutex.lock().expect("live shard");
-            let pending = std::mem::take(&mut shard.pending);
-            let (batch, rest): (Vec<_>, Vec<_>) = pending
-                .into_iter()
-                .partition(|o| o.timestamp_us < seal_end_us);
-            shard.pending = rest;
-            let mut by_pane: BTreeMap<u64, Vec<TagObservation>> = BTreeMap::new();
-            for obs in batch {
-                by_pane
-                    .entry(obs.timestamp_us / pane_us)
-                    .or_default()
-                    .push(obs);
-            }
-            buckets.push(by_pane);
-        }
-        while sealed.next_pane < target {
-            let pane = sealed.next_pane;
-            let pane_end = (pane + 1) * pane_us;
-            let mut agg = CityAggregates::new();
-
-            // Tag-derived events: sort each shard's pane batch canonically
-            // and run the shared state machine. Shard order is irrelevant
-            // (pane aggregates are commutative merges); within a shard the
-            // sort fixes the order.
-            for (shard_mutex, by_pane) in self.shards.iter().zip(buckets.iter_mut()) {
-                let Some(mut batch) = by_pane.remove(&pane) else {
-                    continue;
-                };
-                batch.sort_by_key(|o| (o.timestamp_us, o.pole.0, o.tag.0));
-                let mut shard = shard_mutex.lock().expect("live shard");
-                for obs in &batch {
-                    agg.observations += 1;
-                    shard
-                        .tracker
-                        .apply(
-                            obs,
-                            &self.directory,
-                            &self.config.store,
-                            |event| match event {
-                                DerivedEvent::Flow { segment, cycle } => {
-                                    agg.flow.record(segment, cycle)
-                                }
-                                DerivedEvent::Od { from, to } => agg.od.record(from, to),
-                                DerivedEvent::Speed { mph } => agg.speeds.record(mph),
-                            },
-                        );
-                }
-            }
-
-            // Report-level occupancy counters for this pane.
-            for stripe in &self.stripes {
-                let mut map = stripe.lock().expect("segment stripe");
-                let segments: Vec<u16> = map
-                    .range((pane, 0)..=(pane, u16::MAX))
-                    .map(|(&(_, seg), _)| seg)
-                    .collect();
-                for seg in segments {
-                    if let Some(stats) = map.remove(&(pane, seg)) {
-                        agg.segments.entry(seg).or_default().merge(&stats);
-                    }
-                }
-            }
-
-            let fingerprint = agg.fingerprint64();
-            sealed.chain.write_u64(pane);
-            sealed.chain.write_u64(fingerprint);
-            sealed.total.merge(&agg);
-            sealed.ring.push(pane, agg);
-            sealed.next_pane = pane + 1;
-            self.seal_floor_us.store(pane_end, Ordering::Release);
-        }
-    }
-
-    /// Flushes the run: seals every pane up to the latest timestamp heard,
-    /// as if every pole had reported past it. Call once ingestion ends
-    /// (the streaming analogue of the batch driver's finalize).
+    /// Flushes the run: asks the sealer to seal every pane up to the latest
+    /// timestamp heard — as if every pole had reported past it — and waits
+    /// until it has. Call once ingestion ends (the streaming analogue of
+    /// the batch driver's finalize); ingest must not run concurrently with
+    /// the flush.
     pub fn finish(&self) {
-        let max_ts = self
-            .max_ts_us
-            .load(Ordering::Acquire)
-            .max(self.clock.max_frontier_us());
-        self.seal_up_to(max_ts / self.config.pane_us + 1);
+        let core = &*self.core;
+        let target = core.clock.max_frontier_us() / core.config.pane_us + 1;
+        core.request_seal(target);
+        let mut sealed = core.sealed.lock().expect("sealed state");
+        while sealed.next_pane < target {
+            sealed = core.pane_sealed.wait(sealed).expect("sealed state");
+        }
+    }
+
+    /// Blocks until the sealer has caught up with every pane the watermark
+    /// has released so far. Useful before asserting on sealed state
+    /// mid-stream; [`finish`](LiveCity::finish) already waits.
+    pub fn wait_idle(&self) {
+        let core = &*self.core;
+        let target = core.signal.lock().expect("sealer signal").target;
+        let mut sealed = core.sealed.lock().expect("sealed state");
+        while sealed.next_pane < target {
+            sealed = core.pane_sealed.wait(sealed).expect("sealed state");
+        }
     }
 
     /// Current event-time low watermark, µs.
     pub fn watermark_us(&self) -> u64 {
-        self.clock.watermark_us()
+        self.core.clock.watermark_us()
     }
 
     /// Number of panes sealed so far.
     pub fn sealed_panes(&self) -> u64 {
-        self.sealed.lock().expect("sealed state").next_pane
+        self.core.sealed.lock().expect("sealed state").next_pane
     }
 
     /// The running fingerprint chain over every sealed `(pane, fingerprint)`
     /// pair — the live determinism witness: equal chains mean byte-identical
     /// window sequences.
     pub fn fingerprint_chain(&self) -> u64 {
-        self.sealed.lock().expect("sealed state").chain.finish()
+        self.core
+            .sealed
+            .lock()
+            .expect("sealed state")
+            .chain
+            .finish()
     }
 
     /// Whole-run totals: the merge of every sealed pane. After [`finish`],
@@ -381,29 +413,37 @@ impl LiveCity {
     ///
     /// [`finish`]: LiveCity::finish
     pub fn totals(&self) -> CityAggregates {
-        self.sealed.lock().expect("sealed state").total.clone()
+        self.core.sealed.lock().expect("sealed state").total.clone()
     }
 
     /// Telemetry snapshot.
     pub fn stats(&self) -> LiveStats {
-        let mut buffered = 0usize;
+        let core = &*self.core;
+        // Read the floor before the watermark so the reported pair always
+        // satisfies `seal_floor_us <= watermark_us`.
+        let seal_floor_us = core.seal_floor_us.load(Ordering::Acquire);
+        let buffered: usize = {
+            let workers = core.workers.lock().expect("worker registry");
+            workers
+                .iter()
+                .map(|slot| slot.buf.lock().expect("worker buffer").pending.len())
+                .sum()
+        };
+        let sealed = core.sealed.lock().expect("sealed state");
         let mut alias = AliasStats::default();
-        for shard_mutex in &self.shards {
-            let shard = shard_mutex.lock().expect("live shard");
-            buffered += shard.pending.len();
-            alias.merge(&shard.tracker.alias_stats());
+        for tracker in &sealed.trackers {
+            alias.merge(&tracker.alias_stats());
         }
-        let sealed = self.sealed.lock().expect("sealed state");
         LiveStats {
-            reports: self.reports.load(Ordering::Relaxed),
+            reports: core.reports.load(Ordering::Relaxed),
             observations: sealed.total.observations,
-            shed_reports: self.shed_reports.load(Ordering::Relaxed),
-            shed_observations: self.shed_observations.load(Ordering::Relaxed),
-            overflow_shed: self.overflow_shed.load(Ordering::Relaxed),
+            shed_reports: core.shed_reports.load(Ordering::Relaxed),
+            shed_observations: core.shed_observations.load(Ordering::Relaxed),
+            overflow_shed: core.overflow_shed.load(Ordering::Relaxed),
             buffered_observations: buffered as u64,
             sealed_panes: sealed.next_pane,
-            watermark_us: self.clock.watermark_us(),
-            seal_floor_us: self.seal_floor_us.load(Ordering::Acquire),
+            watermark_us: core.clock.watermark_us(),
+            seal_floor_us,
             alias,
         }
     }
@@ -413,8 +453,272 @@ impl LiveCity {
         &self,
         f: impl FnOnce(&WindowRing<CityAggregates>, &CityAggregates, u64) -> R,
     ) -> R {
-        let sealed = self.sealed.lock().expect("sealed state");
+        let sealed = self.core.sealed.lock().expect("sealed state");
         f(&sealed.ring, &sealed.total, sealed.next_pane)
+    }
+
+    /// Like [`with_sealed`](Self::with_sealed), but first blocks (up to
+    /// `timeout`) until a pane past `cursor` has been sealed — the engine
+    /// half of [`crate::LiveSubscription::wait_next`]. Wakes on every seal.
+    pub(crate) fn wait_sealed_past<R>(
+        &self,
+        cursor: u64,
+        timeout: Duration,
+        f: impl FnOnce(&WindowRing<CityAggregates>, &CityAggregates, u64) -> R,
+    ) -> R {
+        let core = &*self.core;
+        let deadline = Instant::now() + timeout;
+        let mut sealed = core.sealed.lock().expect("sealed state");
+        while sealed.next_pane <= cursor {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = core
+                .pane_sealed
+                .wait_timeout(sealed, deadline - now)
+                .expect("sealed state");
+            sealed = guard;
+        }
+        f(&sealed.ring, &sealed.total, sealed.next_pane)
+    }
+}
+
+impl Drop for LiveCity {
+    fn drop(&mut self) {
+        {
+            let mut sig = self.core.signal.lock().expect("sealer signal");
+            sig.shutdown = true;
+            self.core.seal_wake.notify_one();
+        }
+        if let Some(handle) = self.sealer.lock().expect("sealer handle").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl LiveCore {
+    /// The calling thread's worker slot for this engine, creating and
+    /// registering it on first use. The fast path is a thread-local lookup;
+    /// the registry lock is only taken on registration.
+    fn worker_slot(&self) -> Arc<WorkerSlot> {
+        WORKER_SLOTS.with(|slots| {
+            let mut slots = slots.borrow_mut();
+            if let Some((_, slot)) = slots.iter().find(|(id, _)| *id == self.engine_id) {
+                return Arc::clone(slot);
+            }
+            let slot = Arc::new(WorkerSlot::default());
+            self.workers
+                .lock()
+                .expect("worker registry")
+                .push(Arc::clone(&slot));
+            // Prune entries whose engine is gone (its registry was the only
+            // other strong ref), so long sessions over many engines do not
+            // accumulate dead buffers.
+            slots.retain(|(_, s)| Arc::strong_count(s) > 1);
+            slots.push((self.engine_id, Arc::clone(&slot)));
+            slot
+        })
+    }
+
+    fn ingest(&self, report: &PoleReport) -> IngestOutcome {
+        let floor = self.seal_floor_us.load(Ordering::Acquire);
+        if report.timestamp_us < floor {
+            self.shed_reports.fetch_add(1, Ordering::Relaxed);
+            self.shed_observations
+                .fetch_add(report.len() as u64, Ordering::Relaxed);
+            return IngestOutcome::ShedLate;
+        }
+        let pane = report.timestamp_us / self.config.pane_us;
+        let max_pending = self.config.max_pending_per_worker;
+        let slot = self.worker_slot();
+        let mut shed = 0u64;
+        let mut overflow = 0u64;
+        {
+            let mut buf = slot.buf.lock().expect("worker buffer");
+            let mut multi = 0u32;
+            for (seq, obs) in report.observations.iter().enumerate() {
+                if obs.multi_occupied {
+                    multi += 1;
+                }
+                if obs.timestamp_us < floor {
+                    shed += 1;
+                } else if buf.pending.len() >= max_pending {
+                    overflow += 1;
+                } else {
+                    buf.pending.push(PendingObs {
+                        shard: caraoke_city::store::shard_of_bin(obs.cfo_bin, self.n_shards) as u32,
+                        seq: seq as u32,
+                        obs: *obs,
+                    });
+                }
+            }
+            buf.seg.record(
+                pane,
+                report.segment.0,
+                report.count,
+                report.observations.len() as u32,
+                multi,
+            );
+        }
+        if shed > 0 {
+            self.shed_observations.fetch_add(shed, Ordering::Relaxed);
+        }
+        if overflow > 0 {
+            self.overflow_shed.fetch_add(overflow, Ordering::Relaxed);
+        }
+        self.reports.fetch_add(1, Ordering::Relaxed);
+
+        // Feed the watermark last: by the time a boundary completes, every
+        // in-contract observation at or below it is already buffered (this
+        // thread's pushes are ordered before its clock credit, and the
+        // boundary needs every pole's credit to complete).
+        if let Some(completed) = self.clock.observe(report.pole, report.timestamp_us) {
+            let target = completed.saturating_sub(self.config.lateness_panes);
+            if target > 0 {
+                self.request_seal(target);
+            }
+        }
+        IngestOutcome::Applied
+    }
+
+    /// Raises the sealer's target and wakes it. Called once per watermark
+    /// advance (not per report), so the signal lock is cold.
+    fn request_seal(&self, target: u64) {
+        let mut sig = self.signal.lock().expect("sealer signal");
+        if target > sig.target {
+            sig.target = target;
+            self.seal_wake.notify_one();
+        }
+    }
+
+    /// The sealer thread: sleep until the watermark releases new panes (or
+    /// shutdown), then seal them. Outstanding work is drained before a
+    /// shutdown exit, so `Drop` after `finish` never abandons panes.
+    fn sealer_loop(&self) {
+        let mut sealed_to = 0u64;
+        loop {
+            let target = {
+                let mut sig = self.signal.lock().expect("sealer signal");
+                loop {
+                    if sig.target > sealed_to {
+                        break sig.target;
+                    }
+                    if sig.shutdown {
+                        return;
+                    }
+                    sig = self.seal_wake.wait(sig).expect("sealer signal");
+                }
+            };
+            self.seal_up_to(target);
+            sealed_to = target;
+        }
+    }
+
+    /// Seals every pane below `target` (exclusive), in pane order. Runs on
+    /// the sealer thread only.
+    fn seal_up_to(&self, target: u64) {
+        let mut sealed = self.sealed.lock().expect("sealed state");
+        if sealed.next_pane >= target {
+            return;
+        }
+        let pane_us = self.config.pane_us;
+        let seal_end_us = target * pane_us;
+        let first_pane = sealed.next_pane;
+
+        // Drain every worker slot once: everything below the final seal
+        // frontier moves to the scratch buffer (with its pane), the rest is
+        // compacted in place preserving order (order among equal canonical
+        // keys is what keeps ties deterministic). No in-contract delivery
+        // can add observations below `target * pane_us` concurrently: the
+        // watermark only reached `target` because every pole's frontier
+        // already passed it (see `ingest`). A racing out-of-contract push
+        // can leave an observation below an already-sealed pane in a buffer;
+        // it is counted as shed here, never merged.
+        let slots: Vec<Arc<WorkerSlot>> = self.workers.lock().expect("worker registry").clone();
+        let mut scratch = std::mem::take(&mut sealed.scratch);
+        let mut seg_panes: BTreeMap<u64, Vec<(u16, SegmentStats)>> = BTreeMap::new();
+        let mut shed_late = 0u64;
+        for slot in &slots {
+            let mut buf = slot.buf.lock().expect("worker buffer");
+            let pending = &mut buf.pending;
+            let mut keep = 0;
+            for i in 0..pending.len() {
+                let entry = pending[i];
+                if entry.obs.timestamp_us < seal_end_us {
+                    let pane = entry.obs.timestamp_us / pane_us;
+                    if pane < first_pane {
+                        shed_late += 1;
+                    } else {
+                        scratch.push(SealEntry {
+                            pane,
+                            shard: entry.shard,
+                            seq: entry.seq,
+                            obs: entry.obs,
+                        });
+                    }
+                } else {
+                    pending[keep] = entry;
+                    keep += 1;
+                }
+            }
+            pending.truncate(keep);
+            buf.seg.drain_below(target, |pane, seg, stats| {
+                // Segment rows for already-sealed panes (same racy-push
+                // case) are dropped: report-level counters, not merged.
+                if pane >= first_pane {
+                    seg_panes.entry(pane).or_default().push((seg, stats));
+                }
+            });
+        }
+        if shed_late > 0 {
+            self.shed_observations
+                .fetch_add(shed_late, Ordering::Relaxed);
+        }
+
+        // One sort establishes the canonical order: panes ascending, then
+        // shard, then the batch tier's `(timestamp, pole, tag)` key, then
+        // the within-report sequence number for ties.
+        scratch.sort_unstable_by_key(|e| (e.pane, e.shard, canonical_obs_key(&e.obs), e.seq));
+
+        let state = &mut *sealed;
+        let mut idx = 0;
+        for pane in first_pane..target {
+            let mut agg = CityAggregates::new();
+            while idx < scratch.len() && scratch[idx].pane == pane {
+                let entry = &scratch[idx];
+                agg.observations += 1;
+                state.trackers[entry.shard as usize].apply(
+                    &entry.obs,
+                    &self.directory,
+                    &self.config.store,
+                    |event| match event {
+                        DerivedEvent::Flow { segment, cycle } => agg.flow.record(segment, cycle),
+                        DerivedEvent::Od { from, to } => agg.od.record(from, to),
+                        DerivedEvent::Speed { mph } => agg.speeds.record(mph),
+                    },
+                );
+                idx += 1;
+            }
+            if let Some(rows) = seg_panes.remove(&pane) {
+                for (seg, stats) in rows {
+                    agg.segments.entry(seg).or_default().merge(&stats);
+                }
+            }
+            let fingerprint = agg.fingerprint64();
+            state.chain.write_u64(pane);
+            state.chain.write_u64(fingerprint);
+            state.total.merge(&agg);
+            state.ring.push(pane, agg);
+            state.next_pane = pane + 1;
+            self.seal_floor_us
+                .store((pane + 1) * pane_us, Ordering::Release);
+        }
+        debug_assert_eq!(idx, scratch.len(), "every drained observation sealed");
+        scratch.clear();
+        sealed.scratch = scratch;
+        drop(sealed);
+        self.pane_sealed.notify_all();
     }
 }
 
@@ -478,9 +782,11 @@ mod tests {
         // Pole 0 runs ahead; nothing seals until pole 1 catches up.
         live.ingest(&report(0, 0, 0, vec![obs(1, 0, 0, 0)]));
         live.ingest(&report(0, 0, 2_500_000, vec![obs(1, 0, 0, 2_500_000)]));
+        live.wait_idle();
         assert_eq!(live.sealed_panes(), 0);
         // Pole 1 reaches t=2.5 s: panes 0 and 1 seal (watermark 2 s).
         live.ingest(&report(1, 0, 2_500_000, vec![obs(2, 1, 0, 2_500_000)]));
+        live.wait_idle();
         assert_eq!(live.sealed_panes(), 2);
         assert_eq!(live.watermark_us(), 2_000_000);
         // Only pane 0's observation is sealed; the t=2.5 s ones are buffered.
@@ -505,6 +811,7 @@ mod tests {
                 live.ingest(&report(pole, 0, t, vec![obs(10 + pole as u64, pole, 0, t)]));
             }
         }
+        live.wait_idle();
         assert_eq!(live.sealed_panes(), 3, "watermark at 3 s");
         let before = live.totals().observations;
         // A straggler from pane 0 arrives after pane 0 sealed: shed.
@@ -527,6 +834,7 @@ mod tests {
         config.lateness_panes = 2;
         let live = LiveCity::new(directory(1), config);
         live.ingest(&report(0, 0, 3_500_000, vec![obs(1, 0, 0, 3_500_000)]));
+        live.wait_idle();
         // Watermark boundary 3 completed, but 2 panes of slack are held back.
         assert_eq!(live.watermark_us(), 3_000_000);
         assert_eq!(live.sealed_panes(), 1);
@@ -541,7 +849,7 @@ mod tests {
     #[test]
     fn overflow_beyond_the_bounded_buffer_is_shed_and_counted() {
         let mut config = tiny_config();
-        config.max_pending_per_shard = 4;
+        config.max_pending_per_worker = 4;
         config.store.shards = 1;
         let live = LiveCity::new(directory(2), config);
         // Pole 0 floods pane 0 with more observations than the buffer holds
@@ -578,5 +886,46 @@ mod tests {
             // Each tag flows once per cycle: 2 tags x 5 cycles.
             assert_eq!(total.flow.total(), 10);
         });
+    }
+
+    #[test]
+    fn widely_skewed_pole_frontiers_stay_cheap_and_correct() {
+        // One thread (one worker slot) hears a pole 100 000 panes ahead of
+        // the laggard — far beyond the watermark ring, and a span that
+        // would blow up any pane-span-indexed table. The segment table
+        // tracks occupied panes only, the clock parks the far credit in
+        // its overflow map, and the flush seals the full range.
+        let live = LiveCity::new(directory(2), tiny_config());
+        let far = 100_000 * 1_000_000u64;
+        live.ingest(&report(0, 0, far, vec![obs(1, 0, 0, far)]));
+        live.ingest(&report(1, 0, 0, vec![obs(2, 1, 0, 0)]));
+        // The laggard catches up: the watermark sweeps the whole span.
+        live.ingest(&report(1, 0, far, vec![obs(3, 1, 0, far)]));
+        live.wait_idle();
+        assert_eq!(live.watermark_us(), far);
+        live.finish();
+        let stats = live.stats();
+        assert_eq!(stats.observations, 3);
+        assert_eq!(stats.sealed_panes, 100_001);
+        assert_eq!(stats.shed_observations, 0);
+        assert_eq!(stats.overflow_shed, 0);
+    }
+
+    #[test]
+    fn a_worker_buffer_outlives_interleaved_engines() {
+        // One thread alternates ingesting into two engines: each engine
+        // must keep its own worker buffer (no cross-talk), and both runs
+        // must still produce their full totals.
+        let a = LiveCity::new(directory(1), tiny_config());
+        let b = LiveCity::new(directory(1), tiny_config());
+        for epoch in 0..3u64 {
+            let t = epoch * 1_000_000;
+            a.ingest(&report(0, 0, t, vec![obs(1, 0, 0, t)]));
+            b.ingest(&report(0, 0, t, vec![obs(2, 0, 0, t), obs(3, 0, 0, t)]));
+        }
+        a.finish();
+        b.finish();
+        assert_eq!(a.totals().observations, 3);
+        assert_eq!(b.totals().observations, 6);
     }
 }

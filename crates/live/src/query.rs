@@ -9,6 +9,7 @@
 use crate::engine::{LiveCity, LiveStats};
 use crate::window::{WindowAggregate, WindowSpec};
 use caraoke_city::SegmentId;
+use std::time::Duration;
 
 /// A point-in-time question against the live engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -226,7 +227,12 @@ pub struct LiveSnapshot {
 /// ingest; panes that fell out of retention between polls are reported as
 /// `missed`, not silently skipped.
 ///
+/// [`wait_next`] is the push-flavoured variant: instead of busy-polling, it
+/// blocks on a condvar the sealer thread signals at every pane seal, waking
+/// the moment a new pane lands (or the timeout expires).
+///
 /// [`poll`]: LiveSubscription::poll
+/// [`wait_next`]: LiveSubscription::wait_next
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LiveSubscription {
     /// Next pane index this subscription has not yet seen.
@@ -245,23 +251,57 @@ impl LiveSubscription {
     pub fn poll(&mut self, live: &LiveCity) -> (Vec<PaneSummary>, u64) {
         let cursor = self.cursor;
         let (summaries, next, oldest_retained) = live.with_sealed(|ring, _, next_pane| {
-            let summaries: Vec<PaneSummary> = ring
-                .iter()
-                .filter(|&(pane, _)| pane >= cursor)
-                .map(|(pane, agg)| PaneSummary::new(pane, live.config().pane_us, agg))
-                .collect();
-            let oldest = ring.iter().next().map(|(p, _)| p);
-            (summaries, next_pane, oldest)
+            Self::collect(ring, next_pane, cursor, live.config().pane_us)
         });
-        let missed = match oldest_retained {
+        self.advance_to(next);
+        (summaries, Self::missed(oldest_retained, next, cursor))
+    }
+
+    /// Blocks until at least one pane past the cursor has been sealed (the
+    /// sealer thread signals every seal) or `timeout` elapses, then returns
+    /// exactly what [`poll`](Self::poll) would: the newly sealed panes
+    /// (empty on timeout) and the count that fell out of retention unseen.
+    ///
+    /// This is the dashboard hook that replaces busy-polling: a consumer
+    /// sleeping in `wait_next` costs ingest nothing and wakes within one
+    /// condvar signal of the pane landing.
+    pub fn wait_next(&mut self, live: &LiveCity, timeout: Duration) -> (Vec<PaneSummary>, u64) {
+        let cursor = self.cursor;
+        let (summaries, next, oldest_retained) =
+            live.wait_sealed_past(cursor, timeout, |ring, _, next_pane| {
+                Self::collect(ring, next_pane, cursor, live.config().pane_us)
+            });
+        self.advance_to(next);
+        (summaries, Self::missed(oldest_retained, next, cursor))
+    }
+
+    fn collect(
+        ring: &crate::window::WindowRing<caraoke_city::CityAggregates>,
+        next_pane: u64,
+        cursor: u64,
+        pane_us: u64,
+    ) -> (Vec<PaneSummary>, u64, Option<u64>) {
+        let summaries: Vec<PaneSummary> = ring
+            .iter()
+            .filter(|&(pane, _)| pane >= cursor)
+            .map(|(pane, agg)| PaneSummary::new(pane, pane_us, agg))
+            .collect();
+        let oldest = ring.iter().next().map(|(p, _)| p);
+        (summaries, next_pane, oldest)
+    }
+
+    fn missed(oldest_retained: Option<u64>, next: u64, cursor: u64) -> u64 {
+        match oldest_retained {
             Some(oldest) if oldest > cursor && next > cursor => {
                 (oldest - cursor).min(next - cursor)
             }
             None if next > cursor => next - cursor,
             _ => 0,
-        };
+        }
+    }
+
+    fn advance_to(&mut self, next: u64) {
         self.cursor = next;
-        (summaries, missed)
     }
 }
 
@@ -413,6 +453,56 @@ mod tests {
         let (panes, missed) = sub.poll(&live);
         assert!(panes.is_empty());
         assert_eq!(missed, 0);
+    }
+
+    #[test]
+    fn wait_next_blocks_until_the_sealer_lands_a_pane() {
+        let directory = PoleDirectory::new(vec![PoleSite {
+            segment: SegmentId(0),
+            position: Vec3::new(0.0, -5.0, 3.8),
+        }]);
+        let config = LiveConfig {
+            pane_us: 1_000_000,
+            lateness_panes: 0,
+            retain_panes: 8,
+            ..Default::default()
+        };
+        let live = LiveCity::new(directory, config);
+        let mut sub = LiveSubscription::new();
+        // Nothing sealed yet: a short wait must time out empty-handed.
+        let (panes, missed) = sub.wait_next(&live, std::time::Duration::from_millis(20));
+        assert!(panes.is_empty());
+        assert_eq!(missed, 0);
+        // A waiter blocked in wait_next is woken by the seal that the
+        // concurrent ingest below triggers.
+        std::thread::scope(|scope| {
+            let live = &live;
+            let waiter = scope.spawn(move || {
+                let mut sub = LiveSubscription::new();
+                sub.wait_next(live, std::time::Duration::from_secs(30))
+            });
+            // Two epochs for the single pole: pane 0 seals.
+            for epoch in 0..2u64 {
+                let t = epoch * 1_000_000;
+                live.ingest(&PoleReport {
+                    pole: PoleId(0),
+                    segment: SegmentId(0),
+                    timestamp_us: t,
+                    count: 1,
+                    peaks: 1,
+                    observations: vec![obs(4, 0, 0, t)],
+                });
+            }
+            let (panes, missed) = waiter.join().expect("waiter thread");
+            assert_eq!(missed, 0);
+            assert_eq!(panes.len(), 1, "woken by the first sealed pane");
+            assert_eq!(panes[0].pane, 0);
+            assert_eq!(panes[0].observations, 1);
+        });
+        // The outer subscription sees the same pane on its next wait.
+        let (panes, missed) = sub.wait_next(&live, std::time::Duration::from_secs(30));
+        assert_eq!(missed, 0);
+        assert_eq!(panes.len(), 1);
     }
 
     #[test]

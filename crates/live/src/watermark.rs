@@ -14,36 +14,79 @@
 //! by more than the engine's lateness allowance are counted and shed, never
 //! silently merged (see [`crate::engine::LiveCity`]).
 //!
-//! Complexity: the clock never scans all poles. It keeps one counter per
-//! open pane boundary ("how many poles have passed this boundary"), so an
-//! `observe` costs O(panes crossed by this report), amortized O(1) at a
-//! steady report cadence — this is what lets the watermark keep up with the
+//! # Lock-free hot path
+//!
+//! `observe` is the per-report cost every ingest thread pays, so the clock
+//! takes **no lock in the common case**:
+//!
+//! * each pole's frontier is its own (cache-line padded) atomic, advanced
+//!   with `fetch_max` — poles are independent, so ingest threads never
+//!   contend on each other's frontiers;
+//! * "how many poles have passed boundary `b`" lives in a fixed ring of
+//!   atomic counters indexed by `b` modulo the ring size. Per-pole FIFO
+//!   delivery means each pole credits each boundary exactly once, so a
+//!   counter reaching `n_poles` is a complete boundary; the thread that
+//!   observes completion claims it with a single CAS on the **monotone**
+//!   `completed` watermark (immune to ABA by construction) and then drains
+//!   the boundary's `n_poles` from its slot, recycling it for boundary
+//!   `b + ring`;
+//! * the largest frontier is a running atomic max (`max_frontier_us` is one
+//!   load, not an O(poles) scan — the `finish()` flush reads it once per
+//!   run, but telemetry reads it per snapshot).
+//!
+//! The only lock is an overflow map for boundaries further ahead of the
+//! watermark than the ring can address — a pole racing more than
+//! `RING_BOUNDARIES` panes ahead of the slowest pole, which steady delivery
+//! never does. Credits parked there are folded into the ring as the
+//! watermark advances.
+//!
+//! Complexity: an `observe` costs O(panes crossed by this report), amortized
+//! O(1) at a steady report cadence — and no longer serializes ingest threads
+//! on a global mutex, which is what lets the watermark keep up with the
 //! batch tier's millions of observations per second.
 
 use caraoke_city::PoleId;
-use std::collections::VecDeque;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// How many open pane boundaries the counter ring can address at once —
+/// equivalently, how far (in panes) the fastest pole may run ahead of the
+/// watermark before its boundary credits spill to the locked overflow map.
+const RING_BOUNDARIES: usize = 256;
+
+/// One pole's frontier on its own cache line, so ingest threads advancing
+/// different poles never false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PoleFrontier(AtomicU64);
 
 /// Tracks per-pole frontiers and derives the monotone low watermark, in
 /// units of fixed-width *panes* (see [`crate::window`]).
 #[derive(Debug)]
 pub struct WatermarkClock {
     pane_us: u64,
-    inner: Mutex<ClockInner>,
-}
-
-#[derive(Debug)]
-struct ClockInner {
     /// Latest timestamp heard from each pole (µs). Starts at 0, which counts
     /// as "has passed boundary 0": the watermark cannot advance until every
     /// pole has reported.
-    frontier: Vec<u64>,
+    frontier: Vec<PoleFrontier>,
     /// Boundary index every pole has passed: `frontier[p] >= completed *
     /// pane_us` for all `p`. The watermark is `completed * pane_us`.
-    completed: u64,
-    /// `counts[i]` = poles whose frontier has passed boundary
-    /// `completed + 1 + i`.
-    counts: VecDeque<usize>,
+    completed: AtomicU64,
+    /// Running max over all frontiers (µs) — how far ahead of the watermark
+    /// the fastest pole is, maintained incrementally instead of scanned.
+    max_frontier: AtomicU64,
+    /// `counts[(b - 1) % RING_BOUNDARIES]` = poles whose frontier has passed
+    /// boundary `b`, valid while `completed < b <= completed +
+    /// RING_BOUNDARIES`. When boundary `b` completes, its claimer subtracts
+    /// `n_poles` from the slot (see `advance`), so credits its next
+    /// occupant `b + RING_BOUNDARIES` races in are never lost.
+    counts: Vec<AtomicUsize>,
+    /// Credits for boundaries beyond the ring horizon (rare); folded into
+    /// the ring as `completed` advances. `overflow_len` lets the advance
+    /// path skip the lock entirely when the map is empty.
+    overflow: Mutex<BTreeMap<u64, usize>>,
+    overflow_len: AtomicUsize,
 }
 
 impl WatermarkClock {
@@ -53,11 +96,12 @@ impl WatermarkClock {
         assert!(pane_us > 0, "panes must have nonzero width");
         Self {
             pane_us,
-            inner: Mutex::new(ClockInner {
-                frontier: vec![0; n_poles],
-                completed: 0,
-                counts: VecDeque::new(),
-            }),
+            frontier: (0..n_poles).map(|_| PoleFrontier::default()).collect(),
+            completed: AtomicU64::new(0),
+            max_frontier: AtomicU64::new(0),
+            counts: (0..RING_BOUNDARIES).map(|_| AtomicUsize::new(0)).collect(),
+            overflow: Mutex::new(BTreeMap::new()),
+            overflow_len: AtomicUsize::new(0),
         }
     }
 
@@ -72,54 +116,155 @@ impl WatermarkClock {
     /// Out-of-order timestamps (below the pole's frontier) are accepted and
     /// simply don't move the frontier; whether the *observations* they carry
     /// are still usable is the engine's lateness decision, not the clock's.
+    ///
+    /// Lock-free unless the pole is more than `RING_BOUNDARIES` (256) panes
+    /// ahead of the watermark. Safe to call from many threads at once; each
+    /// pole's stream must still be FIFO (the watermark contract), which also
+    /// guarantees every `(pole, boundary)` pair is credited exactly once —
+    /// concurrent `observe`s of one pole are resolved by `fetch_max`, whose
+    /// return values carve the crossed boundaries into disjoint ranges.
     pub fn observe(&self, pole: PoleId, timestamp_us: u64) -> Option<u64> {
-        let mut inner = self.inner.lock().expect("watermark clock");
-        let n_poles = inner.frontier.len();
-        let old = inner.frontier[pole.0 as usize];
+        let old = self.frontier[pole.0 as usize]
+            .0
+            .fetch_max(timestamp_us, Ordering::AcqRel);
         if timestamp_us <= old {
             return None;
         }
-        inner.frontier[pole.0 as usize] = timestamp_us;
-        let completed = inner.completed;
-        let b_old = (old / self.pane_us).max(completed);
+        self.max_frontier.fetch_max(timestamp_us, Ordering::AcqRel);
+        let b_old = old / self.pane_us;
         let b_new = timestamp_us / self.pane_us;
+        if b_new == b_old {
+            return None;
+        }
         for b in (b_old + 1)..=b_new {
-            let idx = (b - completed - 1) as usize;
-            if inner.counts.len() <= idx {
-                inner.counts.resize(idx + 1, 0);
+            self.credit(b);
+        }
+        self.advance()
+            .then(|| self.completed.load(Ordering::Acquire))
+    }
+
+    /// Records that one pole's frontier passed boundary `b`.
+    fn credit(&self, b: u64) {
+        loop {
+            let completed = self.completed.load(Ordering::Acquire);
+            debug_assert!(b > completed, "pole re-credited a completed boundary");
+            if b <= completed + RING_BOUNDARIES as u64 {
+                // In range. `completed` only grows, so the slot cannot be
+                // re-targeted under us: its current occupant changes only
+                // after `completed` passes `b`, which needs this credit.
+                self.counts[(b - 1) as usize % RING_BOUNDARIES].fetch_add(1, Ordering::AcqRel);
+                return;
             }
-            inner.counts[idx] += 1;
+            // Beyond the horizon (a pole racing far ahead): park the credit.
+            let mut overflow = self.overflow.lock().expect("watermark overflow");
+            *overflow.entry(b).or_insert(0) += 1;
+            self.overflow_len.store(overflow.len(), Ordering::SeqCst);
+            // Dekker-style re-check, *after* publishing `overflow_len`: an
+            // advancing thread pairs a SeqCst `completed` bump with a SeqCst
+            // `overflow_len` read, and we pair a SeqCst `overflow_len`
+            // write with a SeqCst `completed` read — so either it sees our
+            // parked credit (and drains it), or we see its advance here and
+            // un-park to deliver through the ring. Without this, a credit
+            // parked just as the watermark swept past could be stranded and
+            // stall the clock.
+            if b <= self.completed.load(Ordering::SeqCst) + RING_BOUNDARIES as u64 {
+                match overflow.get_mut(&b) {
+                    Some(credits) if *credits > 1 => *credits -= 1,
+                    _ => {
+                        overflow.remove(&b);
+                    }
+                }
+                self.overflow_len.store(overflow.len(), Ordering::SeqCst);
+                continue;
+            }
+            return;
         }
+    }
+
+    /// Advances `completed` over every boundary whose counter is full.
+    /// Returns whether it moved.
+    ///
+    /// The claim is a CAS on `completed` itself (`c → c + 1`): `completed`
+    /// is monotone, so the CAS cannot suffer an ABA — a thread holding a
+    /// stale `c` simply fails and re-reads. Only the CAS winner drains the
+    /// boundary's `n_poles` from its slot, and it does so with `fetch_sub`
+    /// (not a store), so credits that the slot's *next* occupant
+    /// (`c + 1 + RING_BOUNDARIES`, enabled the instant `completed` passes
+    /// `c`) races in concurrently are preserved, not clobbered.
+    fn advance(&self) -> bool {
+        let n_poles = self.frontier.len();
         let mut advanced = false;
-        while inner.counts.front() == Some(&n_poles) {
-            inner.counts.pop_front();
-            inner.completed += 1;
+        let mut drained = false;
+        loop {
+            let completed = self.completed.load(Ordering::Acquire);
+            let slot = &self.counts[completed as usize % RING_BOUNDARIES];
+            // A full count here can only belong to boundary `completed + 1`:
+            // credits for the slot's next occupant are admitted only once
+            // `completed` has moved past it — which would make our CAS fail.
+            if slot.load(Ordering::Acquire) < n_poles {
+                // The missing credit may be sitting in the overflow map (a
+                // pole parked it just as the horizon swept past — see
+                // `credit`'s Dekker re-check): fold the map in once and
+                // re-examine before concluding the boundary is incomplete.
+                if !drained && self.overflow_len.load(Ordering::SeqCst) > 0 {
+                    self.drain_overflow();
+                    drained = true;
+                    continue;
+                }
+                return advanced;
+            }
+            if self
+                .completed
+                .compare_exchange(
+                    completed,
+                    completed + 1,
+                    Ordering::SeqCst,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                // Lost the claim (or our view was stale): retry with the
+                // fresh `completed`.
+                continue;
+            }
+            slot.fetch_sub(n_poles, Ordering::AcqRel);
             advanced = true;
+            if self.overflow_len.load(Ordering::SeqCst) > 0 {
+                self.drain_overflow();
+            }
         }
-        advanced.then_some(inner.completed)
+    }
+
+    /// Folds parked overflow credits whose boundaries entered the ring
+    /// horizon back into the counter ring.
+    fn drain_overflow(&self) {
+        let mut overflow = self.overflow.lock().expect("watermark overflow");
+        let horizon = self.completed.load(Ordering::Acquire) + RING_BOUNDARIES as u64;
+        while let Some((&b, &credits)) = overflow.iter().next() {
+            if b > horizon {
+                break;
+            }
+            overflow.remove(&b);
+            self.counts[(b - 1) as usize % RING_BOUNDARIES].fetch_add(credits, Ordering::AcqRel);
+        }
+        self.overflow_len.store(overflow.len(), Ordering::Release);
     }
 
     /// The current low watermark, µs: every pole has reported up to here.
     pub fn watermark_us(&self) -> u64 {
-        self.inner.lock().expect("watermark clock").completed * self.pane_us
+        self.completed.load(Ordering::Acquire) * self.pane_us
     }
 
     /// Highest boundary index every pole has passed.
     pub fn completed(&self) -> u64 {
-        self.inner.lock().expect("watermark clock").completed
+        self.completed.load(Ordering::Acquire)
     }
 
     /// The largest frontier over all poles, µs — how far ahead of the
-    /// watermark the fastest pole is (used by `finish` to flush).
+    /// watermark the fastest pole is (used by `finish` to flush). A running
+    /// atomic max: one load, never an O(poles) scan.
     pub fn max_frontier_us(&self) -> u64 {
-        self.inner
-            .lock()
-            .expect("watermark clock")
-            .frontier
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(0)
+        self.max_frontier.load(Ordering::Acquire)
     }
 }
 
@@ -172,5 +317,73 @@ mod tests {
         let clock = WatermarkClock::new(1, 500);
         assert_eq!(clock.observe(PoleId(0), 1_700), Some(3));
         assert_eq!(clock.watermark_us(), 1_500);
+    }
+
+    #[test]
+    fn max_frontier_is_a_running_max_not_a_scan() {
+        // Regression test for the running-max satellite: the max must track
+        // every frontier advance (including through out-of-order deliveries
+        // that do not move the frontier) without rescanning poles.
+        let clock = WatermarkClock::new(4, 1_000);
+        assert_eq!(clock.max_frontier_us(), 0);
+        clock.observe(PoleId(2), 7_300);
+        assert_eq!(clock.max_frontier_us(), 7_300);
+        clock.observe(PoleId(0), 4_000); // behind the max: no change
+        assert_eq!(clock.max_frontier_us(), 7_300);
+        clock.observe(PoleId(2), 6_000); // out of order: frontier unmoved
+        assert_eq!(clock.max_frontier_us(), 7_300);
+        clock.observe(PoleId(3), 11_111);
+        assert_eq!(clock.max_frontier_us(), 11_111);
+        // The max is independent of the watermark (pole 1 never reported).
+        assert_eq!(clock.watermark_us(), 0);
+    }
+
+    #[test]
+    fn a_pole_racing_past_the_ring_horizon_still_counts() {
+        // Pole 0 sprints thousands of panes ahead — far beyond the counter
+        // ring — before pole 1 starts. Credits must survive the overflow
+        // path: once pole 1 catches up, the watermark covers the full range.
+        let far = (RING_BOUNDARIES as u64 + 1_000) * 1_000;
+        let clock = WatermarkClock::new(2, 1_000);
+        assert_eq!(clock.observe(PoleId(0), far), None);
+        assert_eq!(clock.max_frontier_us(), far);
+        // Pole 1 walks up in steps that repeatedly cross the old horizon.
+        let mut last = 0;
+        for step in 1..=(RING_BOUNDARIES as u64 + 1_000) {
+            clock.observe(PoleId(1), step * 1_000);
+            let w = clock.watermark_us();
+            assert!(w >= last, "watermark regressed: {w} < {last}");
+            last = w;
+        }
+        assert_eq!(clock.watermark_us(), far / 1_000 * 1_000);
+        assert_eq!(clock.completed(), RING_BOUNDARIES as u64 + 1_000);
+    }
+
+    #[test]
+    fn concurrent_observes_agree_with_a_sequential_run() {
+        // 8 threads, one pole each, every pole walking to the same horizon:
+        // the final watermark must equal the sequential answer and no
+        // boundary may be lost or double-counted along the way.
+        let n_poles = 8;
+        let epochs = 2_000u64;
+        let clock = WatermarkClock::new(n_poles, 1_000);
+        std::thread::scope(|scope| {
+            for p in 0..n_poles as u32 {
+                let clock = &clock;
+                scope.spawn(move || {
+                    // Stagger the walks so fast poles outrun slow ones by
+                    // more than the ring at times (p = 0 is the laggard).
+                    let stride = 1 + p as u64;
+                    let mut t = 0;
+                    while t < epochs * 1_000 {
+                        t += stride * 337;
+                        clock.observe(PoleId(p), t.min(epochs * 1_000));
+                    }
+                });
+            }
+        });
+        assert_eq!(clock.completed(), epochs);
+        assert_eq!(clock.watermark_us(), epochs * 1_000);
+        assert_eq!(clock.max_frontier_us(), epochs * 1_000);
     }
 }

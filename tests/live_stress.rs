@@ -1,0 +1,219 @@
+//! Stress tests for the live engine's concurrent seal path: many ingest
+//! threads racing the dedicated sealer thread, under randomized (but
+//! per-pole FIFO) delivery, must reproduce the single-threaded sealed
+//! window sequence byte for byte — and the bounded-buffer overflow /
+//! lateness shed counters must stay exact and observable.
+
+use caraoke_suite::city::{
+    FrameSource, PoleDirectory, PoleId, PoleReport, PoleSite, SegmentId, StoreConfig,
+    SyntheticCity, TagKey, TagObservation,
+};
+use caraoke_suite::live::{LiveCity, LiveConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const INGEST_THREADS: usize = 16;
+
+fn config(shards: usize) -> LiveConfig {
+    LiveConfig {
+        store: StoreConfig {
+            shards,
+            ..Default::default()
+        },
+        retain_panes: 8,
+        ..Default::default()
+    }
+}
+
+/// Single-threaded, in-order reference delivery.
+fn reference_run(source: &SyntheticCity) -> (u64, u64, u64) {
+    let live = LiveCity::new(source.directory().clone(), config(1));
+    for epoch in 0..source.epochs() {
+        for pole in 0..source.directory().len() as u32 {
+            live.ingest(&source.report(pole, epoch));
+        }
+    }
+    live.finish();
+    let stats = live.stats();
+    assert_eq!(stats.shed_reports, 0);
+    assert_eq!(stats.overflow_shed, 0);
+    (
+        live.fingerprint_chain(),
+        live.totals().fingerprint(),
+        stats.observations,
+    )
+}
+
+/// 16 ingest threads, each owning a stripe of poles and delivering its
+/// poles' streams in a seeded random merge: FIFO per pole (the watermark
+/// contract) but a different cross-pole arrival order on every thread and
+/// every seed, racing the dedicated sealer the whole time.
+fn stressed_run(source: &SyntheticCity, shards: usize, seed: u64) -> (u64, u64, u64) {
+    let live = LiveCity::new(source.directory().clone(), config(shards));
+    let n_poles = source.directory().len() as u32;
+    let epochs = source.epochs();
+    std::thread::scope(|scope| {
+        for w in 0..INGEST_THREADS {
+            let live = &live;
+            scope.spawn(move || {
+                let poles: Vec<u32> = (w as u32..n_poles).step_by(INGEST_THREADS).collect();
+                if poles.is_empty() {
+                    return;
+                }
+                let mut rng = StdRng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0x9E37));
+                let mut next = vec![0usize; poles.len()];
+                let mut alive: Vec<usize> = (0..poles.len()).collect();
+                while !alive.is_empty() {
+                    let i = rng.random_range(0..alive.len());
+                    let slot = alive[i];
+                    live.ingest(&source.report(poles[slot], next[slot]));
+                    next[slot] += 1;
+                    if next[slot] == epochs {
+                        alive.swap_remove(i);
+                    }
+                }
+            });
+        }
+    });
+    live.finish();
+    let stats = live.stats();
+    assert_eq!(stats.shed_reports, 0, "FIFO delivery must not shed");
+    assert_eq!(stats.overflow_shed, 0, "buffers must be ample");
+    assert_eq!(stats.buffered_observations, 0, "finish flushes everything");
+    (
+        live.fingerprint_chain(),
+        live.totals().fingerprint(),
+        stats.observations,
+    )
+}
+
+#[test]
+fn sixteen_ingest_threads_reproduce_the_single_threaded_chain_across_seeds() {
+    let source = SyntheticCity::new(48, 24, 2024);
+    let reference = reference_run(&source);
+    assert!(reference.2 > 4_000, "workload too small to stress anything");
+    for (i, seed) in [3u64, 41, 577, 6217, 74_203, 900_001]
+        .into_iter()
+        .enumerate()
+    {
+        // Vary the shard count too: the chain must not care.
+        let shards = [1, 2, 5, 8, 13, 16][i];
+        let stressed = stressed_run(&source, shards, seed);
+        assert_eq!(
+            stressed, reference,
+            "seed {seed} / {shards} shards diverged from the single-threaded run"
+        );
+    }
+}
+
+#[test]
+fn cfo_keyed_identities_survive_the_concurrent_seal_path() {
+    // The §8 alias-upgrade path is the most order-sensitive part of the
+    // tracker state machine; run it through the stressed delivery as well.
+    let mut source = SyntheticCity::new(40, 16, 77);
+    source.cfo_keyed = true;
+    let reference = reference_run(&source);
+    for seed in [5u64, 999] {
+        assert_eq!(
+            stressed_run(&source, 8, seed),
+            reference,
+            "cfo-keyed seed {seed} diverged"
+        );
+    }
+}
+
+fn obs(tag: u64, pole: u32, t_us: u64) -> TagObservation {
+    TagObservation {
+        tag: TagKey(tag),
+        pole: PoleId(pole),
+        segment: SegmentId(0),
+        cfo_bin: (tag % 615) as u32,
+        cfo_hz: (tag % 615) as f64 * 1953.125,
+        aoa_rad: 0.0,
+        has_aoa: false,
+        rssi_db: -40.0,
+        timestamp_us: t_us,
+        multi_occupied: false,
+        decoded: None,
+    }
+}
+
+fn report(pole: u32, t_us: u64, observations: Vec<TagObservation>) -> PoleReport {
+    PoleReport {
+        pole: PoleId(pole),
+        segment: SegmentId(0),
+        timestamp_us: t_us,
+        count: observations.len() as u32,
+        peaks: observations.len() as u32,
+        observations,
+    }
+}
+
+#[test]
+fn shed_and_overflow_counters_are_pinned_under_tiny_buffers() {
+    let directory = PoleDirectory::new(
+        (0..2)
+            .map(|i| PoleSite {
+                segment: SegmentId(0),
+                position: caraoke_suite::geom::Vec3::new(i as f64 * 30.0, -5.0, 3.8),
+            })
+            .collect(),
+    );
+    let live = LiveCity::new(
+        directory,
+        LiveConfig {
+            pane_us: 1_000_000,
+            lateness_panes: 0,
+            retain_panes: 4,
+            max_pending_per_worker: 3,
+            ..Default::default()
+        },
+    );
+    // Pole 0 floods pane 0 with 9 observations while pole 1 stays silent:
+    // nothing can seal, so the 3-slot worker buffer takes 3 and sheds 6.
+    for i in 0..9u64 {
+        live.ingest(&report(0, 100 + i, vec![obs(i, 0, 100 + i)]));
+    }
+    let stats = live.stats();
+    assert_eq!(stats.buffered_observations, 3);
+    assert_eq!(stats.overflow_shed, 6);
+    assert_eq!(stats.shed_observations, 0);
+
+    // Both poles advance past the pane-0 boundary: pane 0 seals, draining
+    // the buffer. (`wait_idle` before the next step — the sealer is a
+    // separate thread, and arrivals racing an unfinished drain would find
+    // the buffer still full.)
+    live.ingest(&report(1, 1_200_000, vec![]));
+    live.ingest(&report(0, 1_200_000, vec![]));
+    live.wait_idle();
+    let stats = live.stats();
+    assert_eq!(stats.sealed_panes, 1);
+    assert_eq!(stats.observations, 3, "the 3 buffered survivors sealed");
+    assert_eq!(stats.buffered_observations, 0, "seal freed the buffer");
+    assert_eq!(stats.overflow_shed, 6, "no new overflow after the drain");
+
+    // The freed buffer accepts new in-contract observations; sealing pane 1
+    // lands them.
+    live.ingest(&report(0, 1_500_000, vec![obs(90, 0, 1_500_000)]));
+    live.ingest(&report(1, 1_500_000, vec![obs(91, 1, 1_500_000)]));
+    live.ingest(&report(0, 2_000_000, vec![]));
+    live.ingest(&report(1, 2_000_000, vec![]));
+    live.wait_idle();
+    let stats = live.stats();
+    assert_eq!(stats.sealed_panes, 2);
+    assert_eq!(stats.observations, 5, "3 survivors + 2 pane-1 arrivals");
+    assert_eq!(stats.overflow_shed, 6);
+
+    // A straggler below the sealed floor is counted and shed whole.
+    let late = live.ingest(&report(0, 500_000, vec![obs(99, 0, 500_000)]));
+    assert_eq!(late, caraoke_suite::live::IngestOutcome::ShedLate);
+    let stats = live.stats();
+    assert_eq!(stats.shed_reports, 1);
+    assert_eq!(stats.shed_observations, 1);
+
+    live.finish();
+    let stats = live.stats();
+    assert_eq!(stats.observations, 5, "the straggler never lands");
+    assert_eq!(stats.overflow_shed, 6);
+    assert_eq!(stats.shed_observations, 1);
+}
