@@ -1,0 +1,105 @@
+//! Bench-regression gate: diffs a fresh `BENCH_*.json` against the
+//! committed baseline and fails (exit code 1) when any throughput key
+//! (`*_obs_per_sec`) dropped by more than the threshold.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_regress <baseline.json> <fresh.json> [--threshold-pct 15]
+//! ```
+//!
+//! The JSON records are the flat, hand-rolled ones `write_bench_json`
+//! emits, so a forgiving line parser is enough — no JSON dependency. Keys
+//! present on only one side are reported but never fail the gate (new
+//! benches may be added, old ones renamed); only a measured drop on a
+//! shared throughput key does.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Extracts `"key": number` pairs from one of the flat bench records.
+fn parse_numbers(content: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in content.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.insert(key.to_string(), v);
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let threshold_pct: f64 = args
+        .iter()
+        .position(|a| a == "--threshold-pct")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15.0);
+    let [baseline_path, fresh_path] = files.as_slice() else {
+        eprintln!("usage: bench_regress <baseline.json> <fresh.json> [--threshold-pct 15]");
+        return ExitCode::from(2);
+    };
+    let read = |path: &str| -> Option<BTreeMap<String, f64>> {
+        match std::fs::read_to_string(path) {
+            Ok(content) => Some(parse_numbers(&content)),
+            Err(err) => {
+                eprintln!("bench_regress: cannot read {path}: {err}");
+                None
+            }
+        }
+    };
+    let (Some(baseline), Some(fresh)) = (read(baseline_path), read(fresh_path)) else {
+        return ExitCode::from(2);
+    };
+
+    let mut failed = false;
+    let mut compared = 0;
+    for (key, &base) in baseline.iter().filter(|(k, _)| k.ends_with("_obs_per_sec")) {
+        let Some(&now) = fresh.get(key) else {
+            println!("  {key}: only in baseline (skipped)");
+            continue;
+        };
+        compared += 1;
+        let delta_pct = if base > 0.0 {
+            (now - base) / base * 100.0
+        } else {
+            0.0
+        };
+        let verdict = if delta_pct < -threshold_pct {
+            failed = true;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!("  {key}: {base:.0} -> {now:.0} obs/s ({delta_pct:+.1}%) {verdict}");
+    }
+    for key in fresh
+        .keys()
+        .filter(|k| k.ends_with("_obs_per_sec") && !baseline.contains_key(*k))
+    {
+        println!("  {key}: new key, no baseline (skipped)");
+    }
+
+    if compared == 0 {
+        eprintln!(
+            "bench_regress: no shared *_obs_per_sec keys between {baseline_path} and {fresh_path}"
+        );
+        return ExitCode::from(2);
+    }
+    if failed {
+        eprintln!(
+            "bench_regress: throughput dropped more than {threshold_pct}% below {baseline_path}"
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench_regress: {compared} throughput keys within {threshold_pct}% of baseline");
+        ExitCode::SUCCESS
+    }
+}

@@ -6,7 +6,7 @@
 //! ```text
 //! experiments [all|fig4|fig8|fig11|fig12|fig13|fig14|fig15|fig16|
 //!              table-counting-prob|table-speed-bound|table-power|table-mac|
-//!              sfft|city|live]
+//!              sfft|localize2|city|live]
 //!              [--quick]
 //! ```
 //!
@@ -183,6 +183,18 @@ fn main() {
             "{}",
             bench::format_rows(
                 "§10 sparse FFT vs dense FFT peak recovery (timing in `cargo bench --bench sfft_vs_fft`)",
+                &rows
+            )
+        );
+    }
+
+    if run("localize2") {
+        let positions = if quick { 25 } else { 80 };
+        let rows = bench::localization_error(positions, 61);
+        println!(
+            "{}",
+            bench::format_rows(
+                "§6 two-reader localization error (paper §12.2: ~1 m median from phase-based AoA at two readers)",
                 &rows
             )
         );

@@ -633,6 +633,14 @@ pub fn city_scale(n_poles: usize, epochs: usize, workers: usize, seed: u64) -> V
             ("distinct_tags", run.distinct_tags as f64),
             ("speed_samples", run.aggregates.speeds.samples() as f64),
             ("od_transitions", run.aggregates.od.total() as f64),
+            (
+                "localized_fraction",
+                run.aggregates.positions.localized_fraction(),
+            ),
+            (
+                "track_speed_samples",
+                run.aggregates.positions.track_speed_samples as f64,
+            ),
         ],
     )];
     // Determinism: 1 shard vs many shards must agree byte-for-byte.
@@ -665,6 +673,31 @@ pub fn city_scale(n_poles: usize, epochs: usize, workers: usize, seed: u64) -> V
         ],
     ));
     rows
+}
+
+/// Two-reader localization error sweep (§6, §12.2): the full PHY → AoA →
+/// conic-intersection pipeline at two opposite-side readers, swept over
+/// `n_positions` car positions, reported against the paper's ~1 m median
+/// claim.
+pub fn localization_error(n_positions: usize, seed: u64) -> Vec<Row> {
+    let scenario = caraoke_sim::TwoReaderLocalizationScenario {
+        n_positions,
+        seed,
+        ..Default::default()
+    };
+    let report = scenario.run();
+    vec![Row::new(
+        format!(
+            "{} positions, {:.0} m spacing",
+            scenario.n_positions, scenario.pole_spacing_m
+        ),
+        vec![
+            ("fix_rate", report.fix_rate()),
+            ("median_error_m", report.median_error_m),
+            ("p90_error_m", report.p90_error_m),
+            ("mean_error_m", report.mean_error_m),
+        ],
+    )]
 }
 
 /// Online (streaming) city ingestion workload: the same synthetic city as
@@ -706,6 +739,14 @@ pub fn live_scale(n_poles: usize, epochs: usize, workers: usize, seed: u64) -> V
             ("shed_reports", run.stats.shed_reports as f64),
             ("alias_upgrades", run.stats.alias.decode_upgrades as f64),
             ("alias_collision_rate", run.stats.alias.collision_rate()),
+            (
+                "localized_fraction",
+                run.totals.positions.localized_fraction(),
+            ),
+            (
+                "track_speed_samples",
+                run.totals.positions.track_speed_samples as f64,
+            ),
         ],
     )];
     // Determinism: 1 shard / 1 worker and a shuffled-FIFO delivery must

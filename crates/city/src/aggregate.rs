@@ -7,14 +7,19 @@
 //! tests pin down. Floating-point output (means, percentiles) is derived
 //! from the integer state only at snapshot time.
 //!
-//! The four city products map to the paper's evaluation workloads:
+//! The five city products map to the paper's evaluation workloads:
 //!
 //! * [`SegmentStats`] — per-street occupancy (the Fig. 13 parking workload).
 //! * [`FlowCounter`] — vehicles per traffic-light cycle (Fig. 12).
-//! * [`SpeedHistogram`] — speed percentiles from cross-pole fixes (§7).
+//! * [`SpeedHistogram`] — speed percentiles from position tracks (§7).
 //! * [`OdMatrix`] — origin–destination transitions from tag re-sightings.
+//! * [`PositionCounters`] — per-method localization accuracy bookkeeping
+//!   (§6): how many observations carried a two-reader fix vs an AoA-only
+//!   fix vs the pole-position fallback, and which speed samples came from
+//!   position-track regression vs arrival-time deltas.
 
 use crate::event::{PoleId, SegmentId};
+use crate::position::PositionMethod;
 use std::collections::BTreeMap;
 
 /// Offset-basis and prime of 64-bit FNV-1a, used for aggregate fingerprints.
@@ -280,6 +285,92 @@ impl Default for SpeedHistogram {
     }
 }
 
+/// Per-method localization counters (§6): the observability half of the
+/// `PositionSource` refactor.
+///
+/// Every observation is positioned by exactly one method — a two-reader
+/// conic fix, an AoA-only fix, or the pole-position fallback — and every
+/// speed sample comes from either position-track regression or the legacy
+/// arrival-time delta. Counting both per method makes the localization
+/// coverage (and the quality of the speed product) observable at any
+/// aggregation granularity: whole runs, shards, or live window panes.
+/// Integer counters only, so merges stay order-independent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PositionCounters {
+    /// Observations carrying a two-reader conic fix.
+    pub two_reader_fixes: u64,
+    /// Observations carrying an AoA-only fix.
+    pub aoa_only_fixes: u64,
+    /// Observations positioned by the pole fallback (no estimate attached).
+    pub pole_fallbacks: u64,
+    /// Speed samples regressed from a position track (§7).
+    pub track_speed_samples: u64,
+    /// Speed samples from the legacy arrival-time delta (no usable track).
+    pub arrival_speed_samples: u64,
+    /// Sum over observations of the estimate's 1-σ uncertainty, centimetres
+    /// (integer-quantized so merges commute); pole fallbacks contribute
+    /// their nominal coverage-radius sigma.
+    pub sum_sigma_cm: u64,
+}
+
+impl PositionCounters {
+    /// Folds one observation's effective positioning method in.
+    pub fn record_method(&mut self, method: PositionMethod, sigma_m: f64) {
+        match method {
+            PositionMethod::TwoReaderFix => self.two_reader_fixes += 1,
+            PositionMethod::AoaOnly => self.aoa_only_fixes += 1,
+            PositionMethod::PolePosition => self.pole_fallbacks += 1,
+        }
+        self.sum_sigma_cm += (sigma_m.max(0.0) * 100.0).round() as u64;
+    }
+
+    /// Total observations counted.
+    pub fn observations(&self) -> u64 {
+        self.two_reader_fixes + self.aoa_only_fixes + self.pole_fallbacks
+    }
+
+    /// Fraction of observations carrying a real fix (two-reader or
+    /// AoA-only) rather than the pole fallback; 0 when nothing was counted.
+    pub fn localized_fraction(&self) -> f64 {
+        let total = self.observations();
+        if total == 0 {
+            0.0
+        } else {
+            (self.two_reader_fixes + self.aoa_only_fixes) as f64 / total as f64
+        }
+    }
+
+    /// Mean 1-σ position uncertainty over all counted observations, metres.
+    pub fn mean_sigma_m(&self) -> f64 {
+        let total = self.observations();
+        if total == 0 {
+            0.0
+        } else {
+            self.sum_sigma_cm as f64 / 100.0 / total as f64
+        }
+    }
+
+    /// Merges another counter set (associative, commutative).
+    pub fn merge(&mut self, other: &PositionCounters) {
+        self.two_reader_fixes += other.two_reader_fixes;
+        self.aoa_only_fixes += other.aoa_only_fixes;
+        self.pole_fallbacks += other.pole_fallbacks;
+        self.track_speed_samples += other.track_speed_samples;
+        self.arrival_speed_samples += other.arrival_speed_samples;
+        self.sum_sigma_cm += other.sum_sigma_cm;
+    }
+
+    /// Feeds this counter's canonical byte encoding into a [`Fingerprint`].
+    pub fn fingerprint_into(&self, fp: &mut Fingerprint) {
+        fp.write_u64(self.two_reader_fixes);
+        fp.write_u64(self.aoa_only_fixes);
+        fp.write_u64(self.pole_fallbacks);
+        fp.write_u64(self.track_speed_samples);
+        fp.write_u64(self.arrival_speed_samples);
+        fp.write_u64(self.sum_sigma_cm);
+    }
+}
+
 /// Origin–destination matrix over poles, from tag re-sightings.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OdMatrix {
@@ -337,6 +428,8 @@ pub struct CityAggregates {
     pub speeds: SpeedHistogram,
     /// Origin–destination matrix.
     pub od: OdMatrix,
+    /// Per-method localization counters (§6).
+    pub positions: PositionCounters,
     /// Total tag observations ingested.
     pub observations: u64,
 }
@@ -363,6 +456,7 @@ impl CityAggregates {
         self.flow.merge(&other.flow);
         self.speeds.merge(&other.speeds);
         self.od.merge(&other.od);
+        self.positions.merge(&other.positions);
         self.observations += other.observations;
     }
 
@@ -380,6 +474,7 @@ impl CityAggregates {
         self.flow.fingerprint_into(&mut fp);
         self.speeds.fingerprint_into(&mut fp);
         self.od.fingerprint_into(&mut fp);
+        self.positions.fingerprint_into(&mut fp);
         fp.finish()
     }
 }
@@ -467,6 +562,42 @@ mod tests {
         assert!((h.percentile_mph(100.0) - 30.25).abs() < 1e-9);
         // NaN p behaves like p = 0.
         assert_eq!(h.percentile_mph(f64::NAN), h.percentile_mph(0.0));
+    }
+
+    #[test]
+    fn position_counters_track_methods_and_uncertainty() {
+        let mut p = PositionCounters::default();
+        p.record_method(PositionMethod::TwoReaderFix, 1.0);
+        p.record_method(PositionMethod::TwoReaderFix, 1.5);
+        p.record_method(PositionMethod::AoaOnly, 3.0);
+        p.record_method(PositionMethod::PolePosition, 10.0);
+        p.track_speed_samples += 2;
+        p.arrival_speed_samples += 1;
+        assert_eq!(p.observations(), 4);
+        assert_eq!(p.two_reader_fixes, 2);
+        assert_eq!(p.aoa_only_fixes, 1);
+        assert_eq!(p.pole_fallbacks, 1);
+        assert!((p.localized_fraction() - 0.75).abs() < 1e-12);
+        assert!((p.mean_sigma_m() - (1.0 + 1.5 + 3.0 + 10.0) / 4.0).abs() < 1e-9);
+        // Merge is commutative and the fingerprint covers every field.
+        let mut q = PositionCounters::default();
+        q.record_method(PositionMethod::AoaOnly, 2.0);
+        let mut ab = p;
+        ab.merge(&q);
+        let mut ba = q;
+        ba.merge(&p);
+        assert_eq!(ab, ba);
+        let fp = |c: &PositionCounters| {
+            let mut f = Fingerprint::new();
+            c.fingerprint_into(&mut f);
+            f.finish()
+        };
+        assert_eq!(fp(&ab), fp(&ba));
+        assert_ne!(fp(&p), fp(&ab));
+        // Empty counters: well-defined ratios.
+        let empty = PositionCounters::default();
+        assert_eq!(empty.localized_fraction(), 0.0);
+        assert_eq!(empty.mean_sigma_m(), 0.0);
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub fn render(run: &CityRun) -> String {
         );
     }
 
-    let _ = writeln!(out, "-- speeds from cross-pole fixes (§7) --");
+    let _ = writeln!(out, "-- speeds from position tracks (§7) --");
     let _ = writeln!(
         out,
         "  {} samples: mean {:>5.1} mph, p50 {:>5.1}, p90 {:>5.1}, p99 {:>5.1}",
@@ -65,6 +65,22 @@ pub fn render(run: &CityRun) -> String {
         agg.speeds.percentile_mph(50.0),
         agg.speeds.percentile_mph(90.0),
         agg.speeds.percentile_mph(99.0),
+    );
+    let _ = writeln!(
+        out,
+        "  speed sources: {} from position-track regression, {} arrival-time fallbacks",
+        agg.positions.track_speed_samples, agg.positions.arrival_speed_samples,
+    );
+
+    let _ = writeln!(out, "-- localization (§6 PositionSource ladder) --");
+    let _ = writeln!(
+        out,
+        "  {} two-reader fixes, {} AoA-only, {} pole fallbacks ({:>5.1}% localized, mean sigma {:.1} m)",
+        agg.positions.two_reader_fixes,
+        agg.positions.aoa_only_fixes,
+        agg.positions.pole_fallbacks,
+        agg.positions.localized_fraction() * 100.0,
+        agg.positions.mean_sigma_m(),
     );
 
     let _ = writeln!(out, "-- busiest origin->destination pole pairs --");
@@ -94,7 +110,9 @@ mod tests {
             "caraoke-city run",
             "occupancy by street segment",
             "flow per light cycle",
-            "speeds from cross-pole fixes",
+            "speeds from position tracks",
+            "localization (§6 PositionSource ladder)",
+            "two-reader fixes",
             "origin->destination",
             "fingerprint",
         ] {

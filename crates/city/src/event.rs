@@ -83,6 +83,12 @@ pub struct TagObservation {
     /// CFO-signature key the tag was first tracked under is re-pointed at the
     /// decoded key on first decode.
     pub decoded: Option<TransponderId>,
+    /// The car-position estimate for this sighting (§6), when the frame
+    /// source could localize it — a two-reader conic fix, or an AoA-only
+    /// fallback, method-tagged either way. `None` means downstream
+    /// consumers fall back to the pole's own position
+    /// ([`crate::position::PositionMethod::PolePosition`]).
+    pub position: Option<crate::position::PositionEstimate>,
 }
 
 /// Everything one pole reports for one query: per-tag observations plus the
@@ -132,6 +138,7 @@ impl PoleReport {
                     timestamp_us,
                     multi_occupied: peak.multi_occupied,
                     decoded: None,
+                    position: None,
                 }
             })
             .collect();
@@ -158,6 +165,23 @@ impl PoleReport {
             }
         }
         n
+    }
+
+    /// Runs a [`PositionSource`] over every observation, attaching the
+    /// estimate it produces. The integration point for frame sources that
+    /// localize after distilling the report (the full-PHY path attaches
+    /// two-reader fixes here; a source with no localization can attach the
+    /// explicit pole fallback).
+    ///
+    /// [`PositionSource`]: crate::position::PositionSource
+    pub fn attach_positions<S: crate::position::PositionSource>(
+        &mut self,
+        source: &S,
+        site: &crate::store::PoleSite,
+    ) {
+        for obs in &mut self.observations {
+            obs.position = Some(source.position(obs, site));
+        }
     }
 
     /// Number of observations carried by this report.
@@ -215,6 +239,7 @@ mod tests {
             timestamp_us: 0,
             multi_occupied: false,
             decoded: None,
+            position: None,
         };
         let mut report = PoleReport {
             pole: PoleId(1),

@@ -22,7 +22,11 @@
 //! Pipeline, left to right:
 //!
 //! * [`event`] — the wire model: [`TagObservation`]s (tag key, AoA fix, CFO
-//!   bin, RSSI, timestamp) grouped into [`PoleReport`]s.
+//!   bin, RSSI, timestamp, optional [`PositionEstimate`]) grouped into
+//!   [`PoleReport`]s.
+//! * [`position`] — the §6 `PositionSource` abstraction: method-tagged
+//!   car-position estimates (two-reader conic fix → AoA-only → pole
+//!   fallback) and the track regression the §7 speed estimator prefers.
 //! * [`queue`] — bounded ring-buffer ingestion with blocking backpressure
 //!   ([`IngestQueue::push`]) and load-shedding ([`IngestQueue::try_push`]).
 //! * [`store`] — the sharded, lock-striped in-memory store, keyed by tag and
@@ -31,8 +35,9 @@
 //!   CFO-signature keys) is shared with the online engine in `caraoke-live`.
 //! * [`aggregate`] — streaming aggregators computed incrementally on ingest:
 //!   per-street occupancy (Fig. 13), flow per traffic-light cycle (Fig. 12),
-//!   speed percentiles from cross-pole fixes (§7), and the
-//!   origin–destination matrix from tag re-sightings.
+//!   speed percentiles from position tracks (§7), the origin–destination
+//!   matrix from tag re-sightings, and per-method localization counters
+//!   ([`PositionCounters`]).
 //! * [`driver`] — the multi-threaded batch driver fanning per-pole frames
 //!   across workers and merging results deterministically under a fixed
 //!   seed.
@@ -57,16 +62,21 @@ pub mod dashboard;
 pub mod driver;
 pub mod event;
 pub mod phy;
+pub mod position;
 pub mod queue;
 pub mod store;
 pub mod synth;
 
-pub use aggregate::{CityAggregates, FlowCounter, OdMatrix, SegmentStats, SpeedHistogram};
+pub use aggregate::{
+    CityAggregates, FlowCounter, OdMatrix, PositionCounters, SegmentStats, SpeedHistogram,
+};
 pub use driver::{BatchDriver, CityRun, FrameSource};
 pub use event::{PoleId, PoleReport, SegmentId, TagKey, TagObservation};
 pub use phy::PhyCity;
+pub use position::{PolePositionSource, PositionEstimate, PositionMethod, PositionSource};
 pub use queue::{IngestQueue, PushError, QueueStats};
 pub use store::{
-    AliasStats, DerivedEvent, PoleDirectory, PoleSite, ShardedStore, StoreConfig, TagTracker,
+    AliasStats, DerivedEvent, PoleDirectory, PoleSite, ShardedStore, SpeedSource, StoreConfig,
+    TagTracker,
 };
 pub use synth::SyntheticCity;

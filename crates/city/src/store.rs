@@ -29,6 +29,7 @@
 
 use crate::aggregate::{CityAggregates, SegmentStats};
 use crate::event::{PoleId, PoleReport, SegmentId, TagKey, TagObservation};
+use crate::position::{resolve_position, track_speed_mps, PositionMethod};
 use caraoke_geom::Vec3;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -119,6 +120,11 @@ impl Default for StoreConfig {
     }
 }
 
+/// Most recent position fixes retained per tag for track regression (§7).
+/// Six fixes cover several epochs of a pole-to-pole traversal while keeping
+/// [`TagState`] small and `Copy`.
+const TRACK_CAP: usize = 6;
+
 /// Per-tag sighting state.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct TagState {
@@ -131,13 +137,45 @@ struct TagState {
     /// boundary.
     prev_segment: u16,
     last_segment: SegmentId,
-    /// First time the tag was heard at `last_pole`. Speeds are computed
-    /// arrival-to-arrival: two poles' coverage circles have the same radius,
-    /// so the arrival-time difference spans exactly the pole spacing (§7).
+    /// First time the tag was heard at `last_pole`. Arrival-to-arrival
+    /// timing is the speed fallback when no position track is available:
+    /// two poles' coverage circles have the same radius, so the
+    /// arrival-time difference spans exactly the pole spacing (§7).
     arrival_us: u64,
     last_seen_us: u64,
     last_cycle: u32,
     sightings: u64,
+    /// Ring of recent *real* position fixes `(timestamp µs, x, y)` — only
+    /// two-reader and AoA-only estimates; pole fallbacks never enter the
+    /// track (they would regress to the pole-hop staircase the refactor
+    /// replaces). Oldest first; `track_len` entries are valid.
+    track: [(u64, f64, f64); TRACK_CAP],
+    track_len: u8,
+}
+
+impl TagState {
+    fn push_track(&mut self, timestamp_us: u64, xy: (f64, f64)) {
+        if (self.track_len as usize) < TRACK_CAP {
+            self.track[self.track_len as usize] = (timestamp_us, xy.0, xy.1);
+            self.track_len += 1;
+        } else {
+            self.track.rotate_left(1);
+            self.track[TRACK_CAP - 1] = (timestamp_us, xy.0, xy.1);
+        }
+    }
+
+    /// The retained fixes with timestamps in `[since_us, until_us]`.
+    fn track_window(&self, since_us: u64, until_us: u64) -> ([(u64, f64, f64); TRACK_CAP], usize) {
+        let mut out = [(0u64, 0.0, 0.0); TRACK_CAP];
+        let mut n = 0;
+        for &(t, x, y) in &self.track[..self.track_len as usize] {
+            if t >= since_us && t <= until_us {
+                out[n] = (t, x, y);
+                n += 1;
+            }
+        }
+        (out, n)
+    }
 }
 
 /// An analytics event derived from one observation by a [`TagTracker`].
@@ -168,7 +206,20 @@ pub enum DerivedEvent {
     Speed {
         /// Estimated speed, mph.
         mph: f64,
+        /// How the estimate was obtained.
+        source: SpeedSource,
     },
+}
+
+/// How a [`DerivedEvent::Speed`] sample was estimated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpeedSource {
+    /// Least-squares regression over the tag's position track (§7 via §6
+    /// localization — the refactor's preferred path).
+    PositionTrack,
+    /// Arrival-time delta between pole fixes (the pre-`PositionSource`
+    /// behaviour, used when no usable track exists).
+    ArrivalTime,
 }
 
 /// Counters describing the mid-stream [`TagKey`] alias upgrades (§8).
@@ -292,27 +343,38 @@ impl TagTracker {
     ) {
         let key = self.resolve(obs);
         let cycle = (obs.timestamp_us / config.light_cycle_us) as u32;
+        // Only real fixes feed the position track; the pole fallback would
+        // regress to the pole-hop staircase the track is meant to replace.
+        let fix = obs
+            .position
+            .filter(|p| p.is_finite() && p.method != PositionMethod::PolePosition);
         match self.tags.get_mut(&key) {
             None => {
                 emit(DerivedEvent::Flow {
                     segment: obs.segment,
                     cycle,
                 });
-                self.tags.insert(
-                    key,
-                    TagState {
-                        prev_pole: u32::MAX,
-                        last_pole: obs.pole,
-                        prev_segment: u16::MAX,
-                        last_segment: obs.segment,
-                        arrival_us: obs.timestamp_us,
-                        last_seen_us: obs.timestamp_us,
-                        last_cycle: cycle,
-                        sightings: 1,
-                    },
-                );
+                let mut state = TagState {
+                    prev_pole: u32::MAX,
+                    last_pole: obs.pole,
+                    prev_segment: u16::MAX,
+                    last_segment: obs.segment,
+                    arrival_us: obs.timestamp_us,
+                    last_seen_us: obs.timestamp_us,
+                    last_cycle: cycle,
+                    sightings: 1,
+                    track: [(0, 0.0, 0.0); TRACK_CAP],
+                    track_len: 0,
+                };
+                if let Some(f) = fix {
+                    state.push_track(obs.timestamp_us, f.xy);
+                }
+                self.tags.insert(key, state);
             }
             Some(state) => {
+                if let Some(f) = fix {
+                    state.push_track(obs.timestamp_us, f.xy);
+                }
                 // A tag entering a (segment, light-cycle) bucket it was
                 // not in before is one flow event (Fig. 12). Bouncing
                 // back to the previous segment within the same cycle is
@@ -345,14 +407,38 @@ impl TagTracker {
                         from: state.last_pole,
                         to: obs.pole,
                     });
-                    // Arrival-to-arrival gap spans exactly the pole
-                    // spacing when both poles share a coverage radius.
                     let gap = obs.timestamp_us.saturating_sub(state.arrival_us);
                     if gap >= config.min_speed_gap_us && gap <= config.max_speed_gap_us {
-                        let dist = directory.distance_m(state.last_pole, obs.pole);
-                        let mph = caraoke_geom::mps_to_mph(dist / (gap as f64 / 1e6));
+                        // Preferred path: regress the tag's position track
+                        // over this traversal (every fix since arrival at
+                        // the previous pole). Falls back to the
+                        // arrival-to-arrival delta — which spans exactly
+                        // the pole spacing when both poles share a
+                        // coverage radius — when the track is too thin.
+                        let (window, n) = state.track_window(state.arrival_us, obs.timestamp_us);
+                        // Span via min/max, not first/last: late fixes from a
+                        // previous finalize batch can sit out of order in the
+                        // ring, and a positional difference would underflow.
+                        let track_span = if n >= 2 {
+                            let min = window[..n].iter().map(|p| p.0).min().expect("n >= 2");
+                            let max = window[..n].iter().map(|p| p.0).max().expect("n >= 2");
+                            max - min
+                        } else {
+                            0
+                        };
+                        let speed = if track_span >= config.min_speed_gap_us {
+                            track_speed_mps(&window[..n])
+                                .map(|mps| (mps, SpeedSource::PositionTrack))
+                        } else {
+                            None
+                        };
+                        let (mps, source) = speed.unwrap_or_else(|| {
+                            let dist = directory.distance_m(state.last_pole, obs.pole);
+                            (dist / (gap as f64 / 1e6), SpeedSource::ArrivalTime)
+                        });
+                        let mph = caraoke_geom::mps_to_mph(mps);
                         if mph <= config.max_plausible_speed_mph {
-                            emit(DerivedEvent::Speed { mph });
+                            emit(DerivedEvent::Speed { mph, source });
                         }
                     }
                     state.prev_pole = state.last_pole.0;
@@ -395,14 +481,18 @@ pub fn shard_of_bin(cfo_bin: u32, shards: usize) -> usize {
     ((cfo_bin as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % shards
 }
 
-/// The canonical per-shard observation order — `(timestamp, pole, tag)` —
-/// shared by the batch store's sort-at-finalize and the live engine's
-/// pane sealing, so both tiers run the [`TagTracker`] state machine over
-/// the exact same sequence. Observations with equal keys can only come from
-/// a single report (a pole emits one report per timestamp); callers that
-/// need a total order disambiguate with the within-report index.
-pub fn canonical_obs_key(obs: &TagObservation) -> (u64, u32, u64) {
-    (obs.timestamp_us, obs.pole.0, obs.tag.0)
+/// The canonical per-shard observation order — `(timestamp, pole, tag,
+/// cfo_bin)` — shared by the batch store's sort-at-finalize and the live
+/// engine's pane sealing, so both tiers run the [`TagTracker`] state machine
+/// over the exact same sequence. The key was extended with the CFO bin for
+/// the `PositionSource` refactor: observations now carry per-sighting
+/// position estimates, so two same-tag spikes in one report must order by a
+/// stable physical attribute, not by delivery luck. Observations with fully
+/// equal keys can only come from a single report (a pole emits one report
+/// per timestamp); callers that need a total order disambiguate with the
+/// within-report index.
+pub fn canonical_obs_key(obs: &TagObservation) -> (u64, u32, u64, u32) {
+    (obs.timestamp_us, obs.pole.0, obs.tag.0, obs.cfo_bin)
 }
 
 impl ShardedStore {
@@ -477,12 +567,28 @@ impl ShardedStore {
         let mut pending = std::mem::take(&mut shard.pending);
         pending.sort_by_key(canonical_obs_key);
         let TagShard { tracker, agg, .. } = shard;
+        let CityAggregates {
+            flow,
+            speeds,
+            od,
+            positions,
+            observations,
+            ..
+        } = agg;
         for obs in pending {
-            agg.observations += 1;
+            *observations += 1;
+            let resolved = resolve_position(&obs, self.directory.site(obs.pole));
+            positions.record_method(resolved.method, resolved.sigma_m());
             tracker.apply(&obs, &self.directory, &self.config, |event| match event {
-                DerivedEvent::Flow { segment, cycle } => agg.flow.record(segment, cycle),
-                DerivedEvent::Od { from, to } => agg.od.record(from, to),
-                DerivedEvent::Speed { mph } => agg.speeds.record(mph),
+                DerivedEvent::Flow { segment, cycle } => flow.record(segment, cycle),
+                DerivedEvent::Od { from, to } => od.record(from, to),
+                DerivedEvent::Speed { mph, source } => {
+                    speeds.record(mph);
+                    match source {
+                        SpeedSource::PositionTrack => positions.track_speed_samples += 1,
+                        SpeedSource::ArrivalTime => positions.arrival_speed_samples += 1,
+                    }
+                }
             });
         }
     }
@@ -571,6 +677,7 @@ mod tests {
             timestamp_us: t_us,
             multi_occupied: false,
             decoded: None,
+            position: None,
         }
     }
 
@@ -699,6 +806,119 @@ mod tests {
         assert_eq!(agg.segments[&0].sum_count, 2);
         assert_eq!(agg.segments[&1].reports, 2);
         assert_eq!(agg.segments[&1].peak_count, 1);
+    }
+
+    #[test]
+    fn position_tracks_drive_the_speed_estimator_when_available() {
+        use crate::position::PositionEstimate;
+        // Poles 30 m apart, but the *car* really moves 13 m/s (the pole
+        // spacing would fake 15 m/s via arrival deltas). Position fixes
+        // every second pin the true speed.
+        let dir = line_directory(4, 30.0);
+        let store = ShardedStore::new(dir, StoreConfig::default());
+        for t in 0..5u64 {
+            let t_us = t * 1_000_000;
+            let pole = if t < 2 { 0 } else { 1 };
+            let mut o = obs(9, pole, 0, t_us);
+            o.position = Some(PositionEstimate::two_reader(13.0 * t as f64, -1.5, 1.0));
+            store.scatter(&report(pole, 0, t_us, vec![o]));
+        }
+        let agg = store.finalize(2);
+        assert_eq!(agg.od.total(), 1);
+        assert_eq!(agg.speeds.samples(), 1);
+        let mph = agg.speeds.mean_mph();
+        assert!(
+            (mph - caraoke_geom::mps_to_mph(13.0)).abs() < 0.3,
+            "track regression should see the true 13 m/s, got {mph}"
+        );
+        assert_eq!(agg.positions.track_speed_samples, 1);
+        assert_eq!(agg.positions.arrival_speed_samples, 0);
+        assert_eq!(agg.positions.two_reader_fixes, 5);
+        assert_eq!(agg.positions.pole_fallbacks, 0);
+        assert!((agg.positions.localized_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn position_free_observations_fall_back_to_arrival_time_speeds() {
+        // The exact pre-refactor behaviour, now method-tagged: no estimates
+        // anywhere, so the speed comes from the pole-spacing arrival delta
+        // and every observation counts as a pole fallback.
+        let store = ShardedStore::new(line_directory(4, 30.0), StoreConfig::default());
+        store.scatter(&report(0, 0, 0, vec![obs(9, 0, 0, 0)]));
+        store.scatter(&report(1, 0, 2_000_000, vec![obs(9, 1, 0, 2_000_000)]));
+        let agg = store.finalize(1);
+        assert_eq!(agg.speeds.samples(), 1);
+        assert!((agg.speeds.mean_mph() - caraoke_geom::mps_to_mph(15.0)).abs() < 0.02);
+        assert_eq!(agg.positions.arrival_speed_samples, 1);
+        assert_eq!(agg.positions.track_speed_samples, 0);
+        assert_eq!(agg.positions.pole_fallbacks, 2);
+        assert_eq!(agg.positions.localized_fraction(), 0.0);
+        // Pole fallbacks carry the nominal coverage sigma.
+        assert!(
+            (agg.positions.mean_sigma_m() - crate::position::POLE_FALLBACK_SIGMA_M).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn out_of_order_fixes_across_finalize_batches_do_not_underflow() {
+        use crate::position::PositionEstimate;
+        // The batch store sorts within each finalize batch only: a second
+        // batch may apply an *older* fix after a newer one, leaving the
+        // per-tag track ring out of time order. The next transition must
+        // still regress (or fall back) without panicking.
+        let store = ShardedStore::new(line_directory(4, 30.0), StoreConfig::default());
+        let fix_obs = |tag, pole, t_us: u64, x: f64| {
+            let mut o = obs(tag, pole, 0, t_us);
+            o.position = Some(PositionEstimate::two_reader(x, -1.5, 1.0));
+            o
+        };
+        // Batch 1: first heard (no fix) at t = 5 s, then a fix at t = 6 s.
+        store.scatter(&report(0, 0, 5_000_000, vec![obs(3, 0, 0, 5_000_000)]));
+        store.scatter(&report(
+            0,
+            0,
+            6_000_000,
+            vec![fix_obs(3, 0, 6_000_000, 60.0)],
+        ));
+        store.finalize(1);
+        // Batch 2: an *older* in-window fix (t = 5.5 s) lands after the
+        // 6 s one, then a fix-less re-sighting at the next pole triggers
+        // the speed path over the now out-of-order track [(6 s), (5.5 s)].
+        store.scatter(&report(
+            0,
+            0,
+            5_500_000,
+            vec![fix_obs(3, 0, 5_500_000, 55.0)],
+        ));
+        store.scatter(&report(1, 0, 7_000_000, vec![obs(3, 1, 0, 7_000_000)]));
+        let agg = store.finalize(1);
+        assert_eq!(agg.observations, 4);
+        assert_eq!(agg.speeds.samples(), 1);
+        // Both fixes lie on x(t) = 10 m/s regardless of arrival order.
+        assert!(
+            (agg.speeds.mean_mph() - caraoke_geom::mps_to_mph(10.0)).abs() < 0.3,
+            "got {}",
+            agg.speeds.mean_mph()
+        );
+        assert_eq!(agg.positions.track_speed_samples, 1);
+    }
+
+    #[test]
+    fn a_thin_track_falls_back_even_when_some_fixes_exist() {
+        use crate::position::PositionEstimate;
+        // Only the final observation carries a fix: one point is no track,
+        // so the estimator must use the arrival delta — and tag it.
+        let store = ShardedStore::new(line_directory(4, 30.0), StoreConfig::default());
+        store.scatter(&report(0, 0, 0, vec![obs(5, 0, 0, 0)]));
+        let mut last = obs(5, 1, 0, 2_000_000);
+        last.position = Some(PositionEstimate::two_reader(30.0, -1.5, 1.0));
+        store.scatter(&report(1, 0, 2_000_000, vec![last]));
+        let agg = store.finalize(1);
+        assert_eq!(agg.speeds.samples(), 1);
+        assert_eq!(agg.positions.arrival_speed_samples, 1);
+        assert_eq!(agg.positions.track_speed_samples, 0);
+        assert_eq!(agg.positions.two_reader_fixes, 1);
+        assert_eq!(agg.positions.pole_fallbacks, 1);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use crate::driver::FrameSource;
 use crate::event::{PoleId, PoleReport, SegmentId, TagKey, TagObservation};
+use crate::position::PositionEstimate;
 use crate::store::{PoleDirectory, PoleSite};
 use caraoke_geom::Vec3;
 use caraoke_phy::TransponderId;
@@ -63,6 +64,17 @@ pub struct SyntheticCity {
     /// 615 CFO bins at high density — the regime that exercises the store's
     /// decode-alias upgrade path and its collision counters.
     pub cfo_keyed: bool,
+    /// Whether observations carry synthetic §6 position estimates: noisy
+    /// ground truth (the tag's true position is the heard pole's slot on
+    /// the road) with a deterministic method mix — mostly two-reader fixes,
+    /// some AoA-only, and a slice with no estimate at all so the
+    /// pole-position fallback path stays exercised. `false` reproduces the
+    /// pre-`PositionSource` event stream.
+    pub synthesize_positions: bool,
+    /// 1-σ of the noise added to the ground-truth position, metres (the
+    /// paper's two-reader fixes are ~1 m; AoA-only fixes get 3× this along
+    /// the road).
+    pub position_noise_m: f64,
 }
 
 /// Poles per street segment in the synthetic layout.
@@ -97,6 +109,8 @@ impl SyntheticCity {
             epoch_us: 1_500_000,
             decode_every: 6,
             cfo_keyed: false,
+            synthesize_positions: true,
+            position_noise_m: 0.8,
         }
     }
 
@@ -132,6 +146,31 @@ impl SyntheticCity {
         } else {
             None
         };
+        // Synthetic §6 localization: noisy ground truth (the heard pole's
+        // road slot, one lane off the pole line) with a deterministic
+        // method mix — 70% two-reader fixes, 20% AoA-only (noisier along
+        // the road), 10% no estimate so the pole fallback stays exercised.
+        let position = if self.synthesize_positions {
+            let truth_x = site.position.x;
+            let truth_y = site.position.y + 3.0;
+            let noise = self.position_noise_m;
+            match rng.random_range(0..10u32) {
+                0..=6 => {
+                    let x = truth_x + rng.random_range(-noise..noise.max(1e-9));
+                    let y = truth_y + rng.random_range(-noise..noise.max(1e-9));
+                    Some(PositionEstimate::two_reader(x, y, noise))
+                }
+                7 | 8 => {
+                    let wide = 3.0 * noise;
+                    let x = truth_x + rng.random_range(-wide..wide.max(1e-9));
+                    let y = truth_y + rng.random_range(-noise..noise.max(1e-9));
+                    Some(PositionEstimate::aoa_only(x, y, wide, 2.0))
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
         TagObservation {
             tag,
             pole: PoleId(pole),
@@ -144,6 +183,7 @@ impl SyntheticCity {
             timestamp_us,
             multi_occupied: rng.random_range(0.0..1.0) < 0.02,
             decoded,
+            position,
         }
     }
 }
@@ -256,6 +296,56 @@ mod tests {
         let a = parked(&city_no_miss.report(12, 0));
         let b = parked(&city_no_miss.report(12, 7));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn synthetic_positions_are_noisy_ground_truth_with_a_method_mix() {
+        use crate::position::PositionMethod;
+        let city = SyntheticCity::new(40, 12, 31);
+        let mut counts = [0usize; 3];
+        for pole in 0..40u32 {
+            for epoch in 0..12 {
+                let site_x = city.directory.site(PoleId(pole)).position.x;
+                for obs in &city.report(pole, epoch).observations {
+                    match obs.position {
+                        Some(p) => {
+                            assert!(p.is_finite());
+                            let slack = match p.method {
+                                PositionMethod::TwoReaderFix => {
+                                    counts[0] += 1;
+                                    city.position_noise_m
+                                }
+                                PositionMethod::AoaOnly => {
+                                    counts[1] += 1;
+                                    3.0 * city.position_noise_m
+                                }
+                                PositionMethod::PolePosition => unreachable!(),
+                            };
+                            assert!(
+                                (p.xy.0 - site_x).abs() <= slack + 1e-9,
+                                "fix strayed {} m from the pole slot",
+                                (p.xy.0 - site_x).abs()
+                            );
+                        }
+                        None => counts[2] += 1,
+                    }
+                }
+            }
+        }
+        // All three rungs of the method ladder occur, in roughly the
+        // configured 70/20/10 proportions.
+        let total = (counts[0] + counts[1] + counts[2]) as f64;
+        assert!(counts.iter().all(|&c| c > 0), "method mix {counts:?}");
+        assert!((counts[0] as f64 / total) > 0.5, "mix {counts:?}");
+        assert!((counts[2] as f64 / total) < 0.25, "mix {counts:?}");
+        // And the knob restores the pre-refactor stream.
+        let mut plain = city.clone();
+        plain.synthesize_positions = false;
+        assert!(plain
+            .report(3, 3)
+            .observations
+            .iter()
+            .all(|o| o.position.is_none()));
     }
 
     #[test]

@@ -94,22 +94,130 @@ impl RoadRegion {
     }
 }
 
+/// Why a two-reader localization attempt could not produce a usable fix.
+///
+/// Degenerate geometry used to surface as silent `None`s (or, worse, NaN
+/// positions leaking out of a normalized zero vector); the typed variants
+/// let callers distinguish "no car there" from "this deployment geometry can
+/// never produce a fix", and pick the right fallback (AoA-only or pole
+/// position) per cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalizeError {
+    /// An input (pose, AoA or region bound) was NaN or infinite.
+    NonFiniteInput,
+    /// A reader's antenna baseline has (near-)zero length — its antennas are
+    /// coincident, so it measures no angle at all.
+    ZeroBaseline,
+    /// An AoA lies outside the physical `[0, π]` range.
+    InvalidAoa,
+    /// The two readers' cone apexes coincide while their baselines are
+    /// parallel (collinear antenna arrays): the two cone constraints are not
+    /// independent, so every point of one curve satisfies both.
+    CollinearReaders,
+    /// The road region is empty (inverted bounds).
+    EmptyRegion,
+    /// Both nappes of the cone pair intersect the road region with
+    /// comparable residuals — the behind-array mirror solution cannot be
+    /// rejected, so the fix is ambiguous.
+    AmbiguousFix,
+    /// The cones have no intersection inside the road region (the car is off
+    /// the road, or the AoA noise pushed the curves apart).
+    NoIntersection,
+}
+
+impl std::fmt::Display for LocalizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            LocalizeError::NonFiniteInput => "non-finite pose, AoA or region input",
+            LocalizeError::ZeroBaseline => "antenna baseline has zero length",
+            LocalizeError::InvalidAoa => "AoA outside [0, pi]",
+            LocalizeError::CollinearReaders => "coincident apexes with parallel baselines",
+            LocalizeError::EmptyRegion => "road region is empty",
+            LocalizeError::AmbiguousFix => "mirror solution also lies on the road",
+            LocalizeError::NoIntersection => "no cone intersection inside the road region",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for LocalizeError {}
+
+/// Residual tolerance for accepting a fix: residuals are differences of
+/// cosines, and 0.05 corresponds to roughly 3° near broadside. Real AoA
+/// measurements carry a few degrees of error (§12.2 reports ~4° on average)
+/// and the transponder sits slightly above the road plane, so a strict
+/// tolerance would reject valid fixes.
+const RESIDUAL_TOL: f64 = 0.05;
+
+/// Two candidate minima closer than this (metres) are the same fix, not an
+/// ambiguity.
+const AMBIGUITY_SEPARATION_M: f64 = 2.0;
+
+fn check_pose(pose: &ReaderPose) -> Result<(), LocalizeError> {
+    if !pose.position.is_finite() || !pose.baseline.is_finite() {
+        return Err(LocalizeError::NonFiniteInput);
+    }
+    if pose.baseline.norm() < 1e-9 {
+        return Err(LocalizeError::ZeroBaseline);
+    }
+    Ok(())
+}
+
 /// Localizes a car on the road plane from two reader poses and their measured
-/// AoAs. Returns `None` when the two cones have no intersection inside the
-/// road region.
+/// AoAs, with typed errors for every way the attempt can fail (see
+/// [`LocalizeError`]).
 ///
 /// The solver minimises the sum of squared cone residuals over the road
 /// region with a coarse grid followed by iterative local refinement; this is
 /// robust to the near-degenerate geometries that a closed-form conic
 /// intersection mishandles, and its accuracy (≪ 1 cm) is far below the AoA
-/// noise floor.
-pub fn localize_two_readers(
+/// noise floor. A second, well-separated in-region minimum with a residual
+/// inside tolerance is reported as [`LocalizeError::AmbiguousFix`] rather
+/// than silently picking one nappe.
+pub fn try_localize_two_readers(
     reader_a: &ReaderPose,
     alpha_a: f64,
     reader_b: &ReaderPose,
     alpha_b: f64,
     region: &RoadRegion,
-) -> Option<Vec3> {
+) -> Result<Vec3, LocalizeError> {
+    check_pose(reader_a)?;
+    check_pose(reader_b)?;
+    if !alpha_a.is_finite() || !alpha_b.is_finite() {
+        return Err(LocalizeError::NonFiniteInput);
+    }
+    if !(0.0..=std::f64::consts::PI).contains(&alpha_a)
+        || !(0.0..=std::f64::consts::PI).contains(&alpha_b)
+    {
+        return Err(LocalizeError::InvalidAoa);
+    }
+    if [
+        region.x_min,
+        region.x_max,
+        region.y_min,
+        region.y_max,
+        region.z,
+    ]
+    .iter()
+    .any(|v| !v.is_finite())
+    {
+        return Err(LocalizeError::NonFiniteInput);
+    }
+    if region.x_min > region.x_max || region.y_min > region.y_max {
+        return Err(LocalizeError::EmptyRegion);
+    }
+    // Coincident apexes + parallel baselines: the cones share apex and axis,
+    // so the constraints are one curve, not two.
+    if reader_a.position.distance(reader_b.position) < 1e-9 {
+        let cross = reader_a
+            .baseline
+            .normalized()
+            .cross(reader_b.baseline.normalized());
+        if cross.norm() < 1e-9 {
+            return Err(LocalizeError::CollinearReaders);
+        }
+    }
+
     let cone_a = reader_a.cone(alpha_a);
     let cone_b = reader_b.cone(alpha_b);
 
@@ -120,61 +228,112 @@ pub fn localize_two_readers(
         ra * ra + rb * rb
     };
 
-    // Coarse grid.
+    // Coarse grid: keep the whole cost field so a second basin (the
+    // behind-array mirror solution) can be detected afterwards.
     const GRID: usize = 60;
+    let mut field = [[0.0f64; GRID + 1]; GRID + 1];
     let mut best = (f64::INFINITY, 0.0, 0.0);
-    for i in 0..=GRID {
+    for (i, row) in field.iter_mut().enumerate() {
         let x = region.x_min + (region.x_max - region.x_min) * i as f64 / GRID as f64;
-        for j in 0..=GRID {
+        for (j, cell) in row.iter_mut().enumerate() {
             let y = region.y_min + (region.y_max - region.y_min) * j as f64 / GRID as f64;
             let c = cost(x, y);
+            *cell = c;
             if c < best.0 {
                 best = (c, x, y);
             }
         }
     }
 
-    // Local refinement: shrink a box around the best grid point.
-    let mut cx = best.1;
-    let mut cy = best.2;
-    let mut span_x = (region.x_max - region.x_min) / GRID as f64;
-    let mut span_y = (region.y_max - region.y_min) / GRID as f64;
-    for _ in 0..40 {
-        let mut improved = false;
-        for i in -4i32..=4 {
-            for j in -4i32..=4 {
-                let x = (cx + i as f64 * span_x / 4.0).clamp(region.x_min, region.x_max);
-                let y = (cy + j as f64 * span_y / 4.0).clamp(region.y_min, region.y_max);
-                let c = cost(x, y);
-                if c < best.0 {
-                    best = (c, x, y);
-                    improved = true;
+    // Local refinement: shrink a box around a seed point.
+    let refine = |seed: (f64, f64, f64)| -> (f64, f64, f64) {
+        let mut best = seed;
+        let mut cx = best.1;
+        let mut cy = best.2;
+        let mut span_x = (region.x_max - region.x_min) / GRID as f64;
+        let mut span_y = (region.y_max - region.y_min) / GRID as f64;
+        for _ in 0..40 {
+            let mut improved = false;
+            for i in -4i32..=4 {
+                for j in -4i32..=4 {
+                    let x = (cx + i as f64 * span_x / 4.0).clamp(region.x_min, region.x_max);
+                    let y = (cy + j as f64 * span_y / 4.0).clamp(region.y_min, region.y_max);
+                    let c = cost(x, y);
+                    if c < best.0 {
+                        best = (c, x, y);
+                        improved = true;
+                    }
                 }
             }
+            cx = best.1;
+            cy = best.2;
+            if !improved {
+                span_x *= 0.5;
+                span_y *= 0.5;
+            }
+            if span_x < 1e-7 && span_y < 1e-7 {
+                break;
+            }
         }
-        cx = best.1;
-        cy = best.2;
-        if !improved {
-            span_x *= 0.5;
-            span_y *= 0.5;
+        best
+    };
+
+    let best = refine(best);
+    let p = Vec3::new(best.1, best.2, region.z);
+    let ok = cone_a.residual(p).abs() < RESIDUAL_TOL && cone_b.residual(p).abs() < RESIDUAL_TOL;
+    if !(ok && region.contains(p)) {
+        return Err(LocalizeError::NoIntersection);
+    }
+
+    // Behind-array ambiguity: look for a second basin — the best grid point
+    // well separated from the accepted fix — and refine it. If it satisfies
+    // both cone constraints too, the mirror solution is also on the road and
+    // the fix cannot be trusted.
+    let mut second = (f64::INFINITY, 0.0, 0.0);
+    for (i, row) in field.iter().enumerate() {
+        let x = region.x_min + (region.x_max - region.x_min) * i as f64 / GRID as f64;
+        for (j, &c) in row.iter().enumerate() {
+            let y = region.y_min + (region.y_max - region.y_min) * j as f64 / GRID as f64;
+            let far = (x - best.1).hypot(y - best.2) > AMBIGUITY_SEPARATION_M;
+            if far && c < second.0 {
+                second = (c, x, y);
+            }
         }
-        if span_x < 1e-7 && span_y < 1e-7 {
-            break;
+    }
+    if second.0.is_finite() {
+        let second = refine(second);
+        let q = Vec3::new(second.1, second.2, region.z);
+        let mirror_ok = cone_a.residual(q).abs() < RESIDUAL_TOL
+            && cone_b.residual(q).abs() < RESIDUAL_TOL
+            && region.contains(q)
+            && q.horizontal().distance(p.horizontal()) > AMBIGUITY_SEPARATION_M;
+        // Two low-residual points are only *ambiguous* when a cost ridge
+        // separates them (disjoint nappe basins). A shallow-crossing pair of
+        // curves produces one elongated valley — low residuals everywhere
+        // between the points — which is an uncertain fix, not a mirror.
+        let mid = (p + q) / 2.0;
+        let ridge_between =
+            cone_a.residual(mid).abs() > RESIDUAL_TOL || cone_b.residual(mid).abs() > RESIDUAL_TOL;
+        if mirror_ok && ridge_between {
+            return Err(LocalizeError::AmbiguousFix);
         }
     }
 
-    // Accept only if both cone constraints are reasonably satisfied
-    // (residuals are differences of cosines; 0.05 corresponds to roughly 3°
-    // near broadside). Real AoA measurements carry a few degrees of error
-    // (§12.2 reports ~4° on average) and the transponder sits slightly above
-    // the road plane, so a strict tolerance would reject valid fixes.
-    let p = Vec3::new(best.1, best.2, region.z);
-    let ok = cone_a.residual(p).abs() < 0.05 && cone_b.residual(p).abs() < 0.05;
-    if ok && region.contains(p) {
-        Some(p)
-    } else {
-        None
-    }
+    Ok(p)
+}
+
+/// Localizes a car on the road plane from two reader poses and their measured
+/// AoAs. Returns `None` when no unambiguous fix exists inside the road
+/// region — the `Option` facade over [`try_localize_two_readers`], kept for
+/// callers that do not care *why* the fix failed.
+pub fn localize_two_readers(
+    reader_a: &ReaderPose,
+    alpha_a: f64,
+    reader_b: &ReaderPose,
+    alpha_b: f64,
+    region: &RoadRegion,
+) -> Option<Vec3> {
+    try_localize_two_readers(reader_a, alpha_a, reader_b, alpha_b, region).ok()
 }
 
 #[cfg(test)]
@@ -269,6 +428,128 @@ mod tests {
         assert!(!r.contains(Vec3::new(0.0, 5.1, 0.0)));
         assert!(!r.contains(Vec3::new(51.0, 0.0, 0.0)));
         assert!(!r.contains(Vec3::new(0.0, 0.0, 1.0)));
+    }
+
+    #[test]
+    fn coincident_antennas_are_a_typed_error_not_a_nan() {
+        let h = feet_to_meters(12.5);
+        let good = ReaderPose::road_parallel(20.0, 6.0, h);
+        // Zero-length baseline: the antennas coincide.
+        let broken = ReaderPose::new(Vec3::new(0.0, -6.0, h), Vec3::ZERO);
+        let region = RoadRegion::centered(40.0, 9.0);
+        let err = try_localize_two_readers(&broken, 1.0, &good, 1.2, &region).unwrap_err();
+        assert_eq!(err, LocalizeError::ZeroBaseline);
+        let err = try_localize_two_readers(&good, 1.0, &broken, 1.2, &region).unwrap_err();
+        assert_eq!(err, LocalizeError::ZeroBaseline);
+    }
+
+    #[test]
+    fn collinear_coincident_readers_are_rejected() {
+        let h = feet_to_meters(12.5);
+        // Same apex, parallel baselines: one constraint masquerading as two.
+        let a = ReaderPose::road_parallel(0.0, -6.0, h);
+        let b = ReaderPose::new(a.position, a.baseline * -2.0);
+        let region = RoadRegion::centered(40.0, 9.0);
+        let err = try_localize_two_readers(&a, 1.0, &b, 1.0, &region).unwrap_err();
+        assert_eq!(err, LocalizeError::CollinearReaders);
+        // Same apex but genuinely different axes is solvable, not degenerate.
+        let c = ReaderPose::new(a.position, Vec3::new(0.0, 1.0, 0.0));
+        let car = Vec3::new(8.0, -1.5, 0.0);
+        let fix =
+            try_localize_two_readers(&a, true_alpha(&a, car), &c, true_alpha(&c, car), &region);
+        assert!(fix.is_ok(), "distinct axes from one apex: {fix:?}");
+    }
+
+    #[test]
+    fn non_finite_inputs_are_typed_errors() {
+        let h = feet_to_meters(12.5);
+        let a = ReaderPose::road_parallel(0.0, -6.0, h);
+        let b = ReaderPose::road_parallel(20.0, 6.0, h);
+        let region = RoadRegion::centered(40.0, 9.0);
+        let nan_pose = ReaderPose::new(Vec3::new(f64::NAN, -6.0, h), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(
+            try_localize_two_readers(&nan_pose, 1.0, &b, 1.2, &region).unwrap_err(),
+            LocalizeError::NonFiniteInput
+        );
+        assert_eq!(
+            try_localize_two_readers(&a, f64::NAN, &b, 1.2, &region).unwrap_err(),
+            LocalizeError::NonFiniteInput
+        );
+        assert_eq!(
+            try_localize_two_readers(&a, -0.3, &b, 1.2, &region).unwrap_err(),
+            LocalizeError::InvalidAoa
+        );
+        let empty = RoadRegion {
+            x_min: 10.0,
+            x_max: -10.0,
+            y_min: -4.0,
+            y_max: 4.0,
+            z: 0.0,
+        };
+        assert_eq!(
+            try_localize_two_readers(&a, 1.0, &b, 1.2, &empty).unwrap_err(),
+            LocalizeError::EmptyRegion
+        );
+    }
+
+    #[test]
+    fn behind_array_mirror_solution_is_flagged_ambiguous() {
+        // Both readers on the road median: the geometry is mirror-symmetric
+        // about y = 0, so the reflected solution is also on the road and the
+        // fix must be refused, not silently picked.
+        let h = feet_to_meters(12.5);
+        let a = ReaderPose::road_parallel(0.0, 0.0, h);
+        let b = ReaderPose::road_parallel(20.0, 0.0, h);
+        let car = Vec3::new(8.0, 4.0, 0.0);
+        let region = RoadRegion::centered(60.0, 10.0);
+        let err =
+            try_localize_two_readers(&a, true_alpha(&a, car), &b, true_alpha(&b, car), &region)
+                .unwrap_err();
+        assert_eq!(err, LocalizeError::AmbiguousFix);
+        // Shrinking the region to one side of the road removes the mirror:
+        // the same measurement localizes cleanly.
+        let half = RoadRegion {
+            y_min: 0.5,
+            ..region
+        };
+        let fix = try_localize_two_readers(&a, true_alpha(&a, car), &b, true_alpha(&b, car), &half)
+            .expect("one-sided region disambiguates");
+        assert!(fix.distance(car) < 0.1, "got {fix:?}");
+    }
+
+    #[test]
+    fn off_road_targets_are_no_intersection_errors() {
+        let h = feet_to_meters(12.5);
+        let a = ReaderPose::road_parallel(0.0, -6.0, h);
+        let b = ReaderPose::road_parallel(20.0, 6.0, h);
+        let car = Vec3::new(100.0, 30.0, 0.0);
+        let region = RoadRegion::centered(40.0, 9.0);
+        let err =
+            try_localize_two_readers(&a, true_alpha(&a, car), &b, true_alpha(&b, car), &region)
+                .unwrap_err();
+        assert_eq!(err, LocalizeError::NoIntersection);
+    }
+
+    #[test]
+    fn localize_errors_display_and_never_leak_nan_positions() {
+        // Every degenerate call either errors or returns a finite position.
+        let h = feet_to_meters(12.5);
+        let region = RoadRegion::centered(40.0, 9.0);
+        let poses = [
+            ReaderPose::new(Vec3::ZERO, Vec3::ZERO),
+            ReaderPose::road_parallel(0.0, -6.0, h),
+            ReaderPose::new(Vec3::new(0.0, -6.0, h), Vec3::new(f64::INFINITY, 0.0, 0.0)),
+        ];
+        for pa in &poses {
+            for pb in &poses {
+                for alpha in [0.0, 0.7, f64::NAN, 4.0] {
+                    match try_localize_two_readers(pa, alpha, pb, alpha, &region) {
+                        Ok(p) => assert!(p.is_finite(), "NaN fix for {pa:?}/{alpha}"),
+                        Err(e) => assert!(!e.to_string().is_empty()),
+                    }
+                }
+            }
+        }
     }
 
     #[test]

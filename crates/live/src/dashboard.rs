@@ -34,6 +34,11 @@ pub fn render(live: &LiveCity, last_panes: usize) -> String {
     );
     let _ = writeln!(
         out,
+        "  workers: {} slots registered; staleness: {} forced panes ({} pole misses)",
+        snap.stats.worker_slots, snap.stats.forced_panes, snap.stats.forced_pole_misses,
+    );
+    let _ = writeln!(
+        out,
         "  aliases (§8): {} decode upgrades, {} alias hits, {} shared-bin collisions ({:.1} % collision rate)",
         snap.stats.alias.decode_upgrades,
         snap.stats.alias.alias_hits,

@@ -52,7 +52,8 @@
 use crate::watermark::WatermarkClock;
 use crate::window::{WindowAggregate, WindowRing};
 use caraoke_city::aggregate::Fingerprint;
-use caraoke_city::store::{canonical_obs_key, AliasStats, DerivedEvent, TagTracker};
+use caraoke_city::position::resolve_position;
+use caraoke_city::store::{canonical_obs_key, AliasStats, DerivedEvent, SpeedSource, TagTracker};
 use caraoke_city::{
     CityAggregates, PoleDirectory, PoleReport, SegmentStats, StoreConfig, TagObservation,
 };
@@ -81,6 +82,18 @@ pub struct LiveConfig {
     /// beyond it are shed and counted (`overflow_shed`), never dropped
     /// silently.
     pub max_pending_per_worker: usize,
+    /// Wall-clock bound on pane staleness. Panes normally seal on
+    /// *event-time* watermark advance only, so a pole dying mid-run stalls
+    /// the watermark and every pane behind it forever. With a staleness
+    /// bound, the sealer thread force-seals every pane the *fastest* pole
+    /// has fully elapsed once no seal progress has happened for this long,
+    /// counting the poles that missed each forced pane
+    /// ([`LiveStats::forced_pole_misses`]); their late data is then shed
+    /// with the usual counters, never merged. `None` (the default) keeps
+    /// sealing purely event-time — and purely deterministic; forced seals
+    /// depend on wall-clock timing, so runs that need byte-reproducible
+    /// window chains should leave this off.
+    pub max_pane_staleness: Option<Duration>,
 }
 
 impl Default for LiveConfig {
@@ -91,6 +104,7 @@ impl Default for LiveConfig {
             lateness_panes: 1,
             retain_panes: 64,
             max_pending_per_worker: 1 << 20,
+            max_pane_staleness: None,
         }
     }
 }
@@ -126,6 +140,15 @@ pub struct LiveStats {
     pub watermark_us: u64,
     /// Timestamps below this have been sealed; arrivals below it shed.
     pub seal_floor_us: u64,
+    /// Panes sealed by the wall-clock staleness timeout rather than the
+    /// watermark (only nonzero with [`LiveConfig::max_pane_staleness`]).
+    pub forced_panes: u64,
+    /// Sum over forced panes of the poles whose frontier had not passed the
+    /// pane when it was force-sealed.
+    pub forced_pole_misses: u64,
+    /// Worker slots currently registered (ingest threads that have not been
+    /// decommissioned via [`LiveCity::unregister_worker`]).
+    pub worker_slots: u64,
     /// Mid-stream decode alias counters, summed over shards (§8).
     pub alias: AliasStats,
 }
@@ -268,6 +291,10 @@ struct LiveCore {
     /// these; ingest threads reach their own slot through the thread-local
     /// cache without touching this lock).
     workers: Mutex<Vec<Arc<WorkerSlot>>>,
+    /// Buffers drained out of decommissioned worker slots
+    /// ([`LiveCity::unregister_worker`]): still above the watermark when
+    /// the worker left, sealed by the sealer exactly like live slots.
+    orphans: Mutex<Vec<WorkerBuf>>,
     sealed: Mutex<SealedState>,
     /// Notified after every seal batch (pairs with `sealed`): wakes
     /// `finish`, `wait_idle` and blocking subscriptions.
@@ -281,6 +308,8 @@ struct LiveCore {
     shed_reports: AtomicU64,
     shed_observations: AtomicU64,
     overflow_shed: AtomicU64,
+    forced_panes: AtomicU64,
+    forced_pole_misses: AtomicU64,
 }
 
 /// The online city engine. See the module docs for the architecture and
@@ -303,6 +332,7 @@ impl LiveCity {
             engine_id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
             n_shards: shards,
             workers: Mutex::new(Vec::new()),
+            orphans: Mutex::new(Vec::new()),
             sealed: Mutex::new(SealedState {
                 next_pane: 0,
                 ring: WindowRing::new(config.retain_panes),
@@ -322,6 +352,8 @@ impl LiveCity {
             shed_reports: AtomicU64::new(0),
             shed_observations: AtomicU64::new(0),
             overflow_shed: AtomicU64::new(0),
+            forced_panes: AtomicU64::new(0),
+            forced_pole_misses: AtomicU64::new(0),
             directory,
             config,
         });
@@ -385,6 +417,21 @@ impl LiveCity {
         }
     }
 
+    /// Decommissions the calling thread's worker slot for this engine: its
+    /// buffered (not-yet-sealed) observations move to the engine's orphan
+    /// set — the sealer seals them exactly as if the worker were still
+    /// alive — and the slot is freed from both the engine's registry and
+    /// the thread-local cache. Call from an ingest thread that is done with
+    /// this engine; without it, a churning ingest pool (threads joining and
+    /// leaving over a long-lived deployment) grows the slot registry, and
+    /// the sealer's drain pass, forever.
+    ///
+    /// A no-op when the calling thread never ingested into this engine.
+    /// Ingesting again from the same thread simply registers a fresh slot.
+    pub fn unregister_worker(&self) {
+        self.core.unregister_worker();
+    }
+
     /// Current event-time low watermark, µs.
     pub fn watermark_us(&self) -> u64 {
         self.core.clock.watermark_us()
@@ -422,13 +469,19 @@ impl LiveCity {
         // Read the floor before the watermark so the reported pair always
         // satisfies `seal_floor_us <= watermark_us`.
         let seal_floor_us = core.seal_floor_us.load(Ordering::Acquire);
-        let buffered: usize = {
+        let (buffered, worker_slots): (usize, u64) = {
             let workers = core.workers.lock().expect("worker registry");
-            workers
+            let buffered = workers
                 .iter()
                 .map(|slot| slot.buf.lock().expect("worker buffer").pending.len())
-                .sum()
+                .sum();
+            (buffered, workers.len() as u64)
         };
+        let orphaned: usize = {
+            let orphans = core.orphans.lock().expect("orphan buffers");
+            orphans.iter().map(|buf| buf.pending.len()).sum()
+        };
+        let buffered = buffered + orphaned;
         let sealed = core.sealed.lock().expect("sealed state");
         let mut alias = AliasStats::default();
         for tracker in &sealed.trackers {
@@ -444,6 +497,9 @@ impl LiveCity {
             sealed_panes: sealed.next_pane,
             watermark_us: core.clock.watermark_us(),
             seal_floor_us,
+            forced_panes: core.forced_panes.load(Ordering::Relaxed),
+            forced_pole_misses: core.forced_pole_misses.load(Ordering::Relaxed),
+            worker_slots,
             alias,
         }
     }
@@ -521,6 +577,35 @@ impl LiveCore {
         })
     }
 
+    /// See [`LiveCity::unregister_worker`].
+    fn unregister_worker(&self) {
+        let slot = WORKER_SLOTS.with(|slots| {
+            let mut slots = slots.borrow_mut();
+            let idx = slots.iter().position(|(id, _)| *id == self.engine_id)?;
+            Some(slots.swap_remove(idx).1)
+        });
+        let Some(slot) = slot else { return };
+        // Serialize the whole hand-off against the sealer: `seal_up_to`
+        // holds the sealed-state lock across its entire drain + orphan
+        // pass, so taking it here guarantees the registry removal, the
+        // buffer take and the orphan push land either wholly before or
+        // wholly after any seal. Without it, a seal could drain the
+        // (already-emptied) slot and the orphan list before our push
+        // landed — stranding released-pane observations until the *next*
+        // seal misclassifies them as late and sheds in-contract data.
+        // Lock order (sealed → workers → worker buffer → orphans) matches
+        // the sealer's own order, so this cannot deadlock.
+        let _sealed = self.sealed.lock().expect("sealed state");
+        self.workers
+            .lock()
+            .expect("worker registry")
+            .retain(|s| !Arc::ptr_eq(s, &slot));
+        let buf = std::mem::take(&mut *slot.buf.lock().expect("worker buffer"));
+        if !buf.pending.is_empty() || !buf.seg.panes.is_empty() {
+            self.orphans.lock().expect("orphan buffers").push(buf);
+        }
+    }
+
     fn ingest(&self, report: &PoleReport) -> IngestOutcome {
         let floor = self.seal_floor_us.load(Ordering::Acquire);
         if report.timestamp_us < floor {
@@ -595,24 +680,76 @@ impl LiveCore {
     /// The sealer thread: sleep until the watermark releases new panes (or
     /// shutdown), then seal them. Outstanding work is drained before a
     /// shutdown exit, so `Drop` after `finish` never abandons panes.
+    ///
+    /// With [`LiveConfig::max_pane_staleness`] set, the wait is bounded:
+    /// when it expires with panes still waiting on a stalled watermark (a
+    /// pole died mid-run), the sealer force-seals every pane the fastest
+    /// pole has fully elapsed, counting the poles that missed each one.
     fn sealer_loop(&self) {
         let mut sealed_to = 0u64;
         loop {
+            // `None` = the staleness timer fired with no new target.
             let target = {
                 let mut sig = self.signal.lock().expect("sealer signal");
                 loop {
                     if sig.target > sealed_to {
-                        break sig.target;
+                        break Some(sig.target);
                     }
                     if sig.shutdown {
                         return;
                     }
-                    sig = self.seal_wake.wait(sig).expect("sealer signal");
+                    match self.config.max_pane_staleness {
+                        None => sig = self.seal_wake.wait(sig).expect("sealer signal"),
+                        Some(staleness) => {
+                            let (guard, timeout) = self
+                                .seal_wake
+                                .wait_timeout(sig, staleness)
+                                .expect("sealer signal");
+                            sig = guard;
+                            if timeout.timed_out() {
+                                break None;
+                            }
+                        }
+                    }
                 }
             };
-            self.seal_up_to(target);
-            sealed_to = target;
+            match target {
+                Some(target) => {
+                    self.seal_up_to(target);
+                    sealed_to = sealed_to.max(target);
+                }
+                None => {
+                    if let Some(forced) = self.force_seal_stale() {
+                        sealed_to = sealed_to.max(forced);
+                    }
+                }
+            }
         }
+    }
+
+    /// Wall-clock staleness path: seal every pane the fastest pole's
+    /// frontier has fully elapsed, even though the watermark (held back by
+    /// a stalled pole) has not released them. Returns the new seal target
+    /// when anything was forced. Runs on the sealer thread only.
+    fn force_seal_stale(&self) -> Option<u64> {
+        let pane_us = self.config.pane_us;
+        let force = self.clock.max_frontier_us() / pane_us;
+        let next_pane = self.sealed.lock().expect("sealed state").next_pane;
+        if force <= next_pane {
+            return None;
+        }
+        // Telemetry first: which poles will miss each forced pane. Racy
+        // against a pole reviving this instant — that pole's data still
+        // seals correctly below; only the miss count can over-report.
+        let mut misses = 0u64;
+        for pane in next_pane..force {
+            misses += self.clock.poles_behind((pane + 1) * pane_us) as u64;
+        }
+        self.forced_panes
+            .fetch_add(force - next_pane, Ordering::Relaxed);
+        self.forced_pole_misses.fetch_add(misses, Ordering::Relaxed);
+        self.seal_up_to(force);
+        Some(force)
     }
 
     /// Seals every pane below `target` (exclusive), in pane order. Runs on
@@ -639,8 +776,7 @@ impl LiveCore {
         let mut scratch = std::mem::take(&mut sealed.scratch);
         let mut seg_panes: BTreeMap<u64, Vec<(u16, SegmentStats)>> = BTreeMap::new();
         let mut shed_late = 0u64;
-        for slot in &slots {
-            let mut buf = slot.buf.lock().expect("worker buffer");
+        let mut drain_buf = |buf: &mut WorkerBuf| {
             let pending = &mut buf.pending;
             let mut keep = 0;
             for i in 0..pending.len() {
@@ -670,6 +806,18 @@ impl LiveCore {
                     seg_panes.entry(pane).or_default().push((seg, stats));
                 }
             });
+        };
+        for slot in &slots {
+            drain_buf(&mut slot.buf.lock().expect("worker buffer"));
+        }
+        {
+            // Buffers left behind by decommissioned workers seal the same
+            // way; fully drained ones are freed.
+            let mut orphans = self.orphans.lock().expect("orphan buffers");
+            for buf in orphans.iter_mut() {
+                drain_buf(buf);
+            }
+            orphans.retain(|buf| !buf.pending.is_empty() || !buf.seg.panes.is_empty());
         }
         if shed_late > 0 {
             self.shed_observations
@@ -688,14 +836,30 @@ impl LiveCore {
             while idx < scratch.len() && scratch[idx].pane == pane {
                 let entry = &scratch[idx];
                 agg.observations += 1;
+                let resolved = resolve_position(&entry.obs, self.directory.site(entry.obs.pole));
+                agg.positions
+                    .record_method(resolved.method, resolved.sigma_m());
+                let CityAggregates {
+                    flow,
+                    speeds,
+                    od,
+                    positions,
+                    ..
+                } = &mut agg;
                 state.trackers[entry.shard as usize].apply(
                     &entry.obs,
                     &self.directory,
                     &self.config.store,
                     |event| match event {
-                        DerivedEvent::Flow { segment, cycle } => agg.flow.record(segment, cycle),
-                        DerivedEvent::Od { from, to } => agg.od.record(from, to),
-                        DerivedEvent::Speed { mph } => agg.speeds.record(mph),
+                        DerivedEvent::Flow { segment, cycle } => flow.record(segment, cycle),
+                        DerivedEvent::Od { from, to } => od.record(from, to),
+                        DerivedEvent::Speed { mph, source } => {
+                            speeds.record(mph);
+                            match source {
+                                SpeedSource::PositionTrack => positions.track_speed_samples += 1,
+                                SpeedSource::ArrivalTime => positions.arrival_speed_samples += 1,
+                            }
+                        }
                     },
                 );
                 idx += 1;
@@ -753,6 +917,7 @@ mod tests {
             timestamp_us: t_us,
             multi_occupied: false,
             decoded: None,
+            position: None,
         }
     }
 
@@ -909,6 +1074,80 @@ mod tests {
         assert_eq!(stats.sealed_panes, 100_001);
         assert_eq!(stats.shed_observations, 0);
         assert_eq!(stats.overflow_shed, 0);
+    }
+
+    #[test]
+    fn staleness_timeout_force_seals_and_counts_missing_poles() {
+        let mut config = tiny_config();
+        config.max_pane_staleness = Some(Duration::from_millis(25));
+        let live = LiveCity::new(directory(2), config);
+        // Pole 0 reports through t = 3.5 s; pole 1 is dead, so the
+        // event-time watermark is stuck at 0 forever.
+        for t in [0u64, 1_000_000, 2_000_000, 3_500_000] {
+            live.ingest(&report(0, 0, t, vec![obs(1, 0, 0, t)]));
+        }
+        assert_eq!(live.watermark_us(), 0);
+        // The sealer's staleness timer must fire and seal every pane the
+        // live pole has fully elapsed (panes 0-2; t = 3.5 s stays open).
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while live.sealed_panes() < 3 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = live.stats();
+        assert_eq!(stats.sealed_panes, 3, "stale panes must force-seal");
+        assert_eq!(stats.forced_panes, 3);
+        assert_eq!(
+            stats.forced_pole_misses, 3,
+            "the dead pole missed every forced pane"
+        );
+        assert_eq!(stats.observations, 3);
+        assert_eq!(
+            live.watermark_us(),
+            0,
+            "forcing seals never fakes event time"
+        );
+        // The dead pole reviving below the forced floor is shed, counted —
+        // and never merged into the already-published panes.
+        let outcome = live.ingest(&report(1, 0, 500_000, vec![obs(9, 1, 0, 500_000)]));
+        assert_eq!(outcome, IngestOutcome::ShedLate);
+        let stats = live.stats();
+        assert_eq!(stats.shed_reports, 1);
+        assert_eq!(stats.shed_observations, 1);
+    }
+
+    #[test]
+    fn unregister_worker_frees_the_slot_and_keeps_its_data() {
+        let live = LiveCity::new(directory(1), tiny_config());
+        std::thread::scope(|scope| {
+            let live = &live;
+            scope
+                .spawn(move || {
+                    live.ingest(&report(0, 0, 0, vec![obs(1, 0, 0, 0)]));
+                    live.ingest(&report(0, 0, 500_000, vec![obs(2, 0, 0, 500_000)]));
+                    assert_eq!(live.stats().worker_slots, 1);
+                    live.unregister_worker();
+                    assert_eq!(live.stats().worker_slots, 0, "slot decommissioned");
+                    // Double-unregister is a no-op.
+                    live.unregister_worker();
+                    // A decommissioned thread can come back: fresh slot.
+                    live.ingest(&report(0, 0, 1_200_000, vec![obs(3, 0, 0, 1_200_000)]));
+                    assert_eq!(live.stats().worker_slots, 1);
+                    live.unregister_worker();
+                })
+                .join()
+                .expect("ingest thread");
+        });
+        live.finish();
+        let stats = live.stats();
+        assert_eq!(stats.worker_slots, 0);
+        assert_eq!(
+            live.totals().observations,
+            3,
+            "orphaned buffers seal like live slots"
+        );
+        assert_eq!(stats.shed_observations, 0);
+        assert_eq!(stats.overflow_shed, 0);
+        assert_eq!(stats.buffered_observations, 0);
     }
 
     #[test]

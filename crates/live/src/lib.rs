@@ -30,9 +30,10 @@
 //!   over the sealed window sequence.
 //! * [`query`] — [`LiveCity::query`] point-in-time answers (windowed
 //!   occupancy, flow over the last K cycles, speed percentiles, top-N OD
-//!   pairs), plus [`LiveCity::snapshot`] and the [`LiveSubscription`] hook
-//!   dashboards drive — pollable, or blocking on pane seals via
-//!   [`LiveSubscription::wait_next`].
+//!   pairs, and the §6 position-accuracy product: per-method fix counts,
+//!   localized fraction, mean position σ), plus [`LiveCity::snapshot`] and
+//!   the [`LiveSubscription`] hook dashboards drive — pollable, or
+//!   blocking on pane seals via [`LiveSubscription::wait_next`].
 //! * [`driver`] — [`LiveDriver`]: streams any batch [`FrameSource`]
 //!   (synthetic or full-PHY) online, under pole-striped multi-threaded or
 //!   seeded shuffled-FIFO delivery.

@@ -44,6 +44,14 @@ pub enum LiveQuery {
         /// Trailing window to aggregate over.
         window: WindowSpec,
     },
+    /// Localization accuracy over a trailing window (§6): how the
+    /// `PositionSource` ladder performed — per-method fix counts, the
+    /// localized fraction, the mean position uncertainty, and which speed
+    /// samples came from position tracks vs arrival-time fallbacks.
+    PositionAccuracy {
+        /// Trailing window to aggregate over.
+        window: WindowSpec,
+    },
     /// Where event time stands: watermark and sealed-pane count.
     Watermark,
 }
@@ -78,6 +86,23 @@ pub enum LiveAnswer {
     TopOd {
         /// `((from pole, to pole), transitions)`, busiest first.
         pairs: Vec<((u32, u32), u64)>,
+    },
+    /// Localization accuracy over the queried window.
+    PositionAccuracy {
+        /// Observations positioned by a two-reader conic fix.
+        two_reader_fixes: u64,
+        /// Observations positioned by an AoA-only fix.
+        aoa_only_fixes: u64,
+        /// Observations that fell back to the pole position.
+        pole_fallbacks: u64,
+        /// Fraction of observations carrying a real fix.
+        localized_fraction: f64,
+        /// Mean 1-σ position uncertainty, metres.
+        mean_sigma_m: f64,
+        /// Speed samples regressed from position tracks.
+        track_speed_samples: u64,
+        /// Speed samples from arrival-time fallbacks.
+        arrival_speed_samples: u64,
     },
     /// Event-time position.
     Watermark {
@@ -143,6 +168,19 @@ impl LiveCity {
                 let agg = ring.window(window, self.config().pane_us);
                 LiveAnswer::TopOd {
                     pairs: agg.od.top(n),
+                }
+            }),
+            LiveQuery::PositionAccuracy { window } => self.with_sealed(|ring, _, _| {
+                let agg = ring.window(window, self.config().pane_us);
+                let p = &agg.positions;
+                LiveAnswer::PositionAccuracy {
+                    two_reader_fixes: p.two_reader_fixes,
+                    aoa_only_fixes: p.aoa_only_fixes,
+                    pole_fallbacks: p.pole_fallbacks,
+                    localized_fraction: p.localized_fraction(),
+                    mean_sigma_m: p.mean_sigma_m(),
+                    track_speed_samples: p.track_speed_samples,
+                    arrival_speed_samples: p.arrival_speed_samples,
                 }
             }),
             LiveQuery::Watermark => LiveAnswer::Watermark {
@@ -325,6 +363,7 @@ mod tests {
             timestamp_us: t_us,
             multi_occupied: false,
             decoded: None,
+            position: None,
         }
     }
 
@@ -430,6 +469,91 @@ mod tests {
             } => {
                 assert_eq!(sealed_panes, 4);
                 assert!(watermark_us >= 3_000_000);
+            }
+            other => panic!("unexpected answer {other:?}"),
+        }
+    }
+
+    #[test]
+    fn position_accuracy_query_reports_the_method_ladder() {
+        use caraoke_city::position::PositionEstimate;
+        let directory = PoleDirectory::new(
+            (0..2)
+                .map(|i| PoleSite {
+                    segment: SegmentId(0),
+                    position: Vec3::new(i as f64 * 30.0, -5.0, 3.8),
+                })
+                .collect(),
+        );
+        let config = LiveConfig {
+            pane_us: 1_000_000,
+            lateness_panes: 0,
+            retain_panes: 8,
+            ..Default::default()
+        };
+        let live = LiveCity::new(directory, config);
+        // A tag walks pole 0 -> 1 with two-reader fixes at the true 12 m/s;
+        // a parked tag never localizes (pole fallback).
+        for epoch in 0..3u64 {
+            let t = epoch * 1_000_000;
+            let mut walker = obs(5, (epoch as u32).min(1), 0, t);
+            walker.position = Some(PositionEstimate::two_reader(12.0 * epoch as f64, -1.5, 1.0));
+            let mut parked = obs(6, 0, 0, t);
+            parked.position = None;
+            let pole1_obs = if epoch >= 1 { vec![walker] } else { vec![] };
+            let pole0_obs = if epoch == 0 {
+                vec![walker, parked]
+            } else {
+                vec![parked]
+            };
+            for (pole, observations) in [(0u32, pole0_obs), (1, pole1_obs)] {
+                live.ingest(&PoleReport {
+                    pole: PoleId(pole),
+                    segment: SegmentId(0),
+                    timestamp_us: t,
+                    count: observations.len() as u32,
+                    peaks: observations.len() as u32,
+                    observations,
+                });
+            }
+        }
+        live.finish();
+        match live.query(&LiveQuery::PositionAccuracy {
+            window: WindowSpec::tumbling(3_000_000),
+        }) {
+            LiveAnswer::PositionAccuracy {
+                two_reader_fixes,
+                aoa_only_fixes,
+                pole_fallbacks,
+                localized_fraction,
+                mean_sigma_m,
+                track_speed_samples,
+                arrival_speed_samples,
+            } => {
+                assert_eq!(two_reader_fixes, 3);
+                assert_eq!(aoa_only_fixes, 0);
+                assert_eq!(pole_fallbacks, 3);
+                assert!((localized_fraction - 0.5).abs() < 1e-12);
+                // Half the observations are sigma = 1 m fixes, half the
+                // 10 m pole fallback.
+                assert!((mean_sigma_m - 5.5).abs() < 1e-9);
+                assert_eq!(track_speed_samples, 1, "the walk regresses once");
+                assert_eq!(arrival_speed_samples, 0);
+            }
+            other => panic!("unexpected answer {other:?}"),
+        }
+        // The speed product consumed the track, not the pole spacing: the
+        // 30 m pole gap over 1 s would fake ~67 mph, the track says ~27.
+        match live.query(&LiveQuery::SpeedPercentile {
+            p: 50.0,
+            window: WindowSpec::tumbling(3_000_000),
+        }) {
+            LiveAnswer::Speed { mph, samples } => {
+                assert_eq!(samples, 1);
+                assert!(
+                    (mph - caraoke_geom::mps_to_mph(12.0)).abs() < 0.5,
+                    "track speed, got {mph}"
+                );
             }
             other => panic!("unexpected answer {other:?}"),
         }

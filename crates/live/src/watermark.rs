@@ -266,6 +266,22 @@ impl WatermarkClock {
     pub fn max_frontier_us(&self) -> u64 {
         self.max_frontier.load(Ordering::Acquire)
     }
+
+    /// One pole's frontier: the latest timestamp heard from it, µs.
+    pub fn frontier_us(&self, pole: PoleId) -> u64 {
+        self.frontier[pole.0 as usize].0.load(Ordering::Acquire)
+    }
+
+    /// How many poles' frontiers have *not* reached `timestamp_us` — the
+    /// poles a wall-clock forced seal of the pane ending there would cut
+    /// off. An O(poles) scan, but it only runs on the staleness-timeout
+    /// path (a pole died mid-run), never on ingest.
+    pub fn poles_behind(&self, timestamp_us: u64) -> usize {
+        self.frontier
+            .iter()
+            .filter(|f| f.0.load(Ordering::Acquire) < timestamp_us)
+            .count()
+    }
 }
 
 #[cfg(test)]
@@ -336,6 +352,20 @@ mod tests {
         assert_eq!(clock.max_frontier_us(), 11_111);
         // The max is independent of the watermark (pole 1 never reported).
         assert_eq!(clock.watermark_us(), 0);
+    }
+
+    #[test]
+    fn frontier_accessors_expose_per_pole_lag() {
+        let clock = WatermarkClock::new(3, 1_000);
+        clock.observe(PoleId(0), 5_500);
+        clock.observe(PoleId(1), 2_000);
+        assert_eq!(clock.frontier_us(PoleId(0)), 5_500);
+        assert_eq!(clock.frontier_us(PoleId(1)), 2_000);
+        assert_eq!(clock.frontier_us(PoleId(2)), 0);
+        // Poles behind the pane-3 boundary (3 000 µs): pole 1 and pole 2.
+        assert_eq!(clock.poles_behind(3_000), 2);
+        assert_eq!(clock.poles_behind(1), 1, "only the silent pole");
+        assert_eq!(clock.poles_behind(6_000), 3);
     }
 
     #[test]

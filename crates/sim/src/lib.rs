@@ -14,7 +14,8 @@
 //! * [`scenario`] — the experiment runners that regenerate the paper's
 //!   figures: counting (Fig. 11), parking localization (Fig. 13), speed
 //!   (Fig. 15) and decoding time (Fig. 16).
-//! * [`multireader`] — the multi-reader MAC simulation of §9.
+//! * [`multireader`] — the multi-reader MAC simulation of §9 and the §6
+//!   two-reader localization error sweep.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +28,7 @@ pub mod traffic;
 pub mod vehicle;
 
 pub use deployment::Pole;
+pub use multireader::{LocalizationErrorReport, TwoReaderLocalizationScenario};
 pub use scenario::{CountingScenario, DecodingScenario, ParkingScenario, SpeedScenario};
 pub use street::{ParkingSpot, Street};
 pub use traffic::{IntersectionSim, LightPhase, TrafficLight};

@@ -3,6 +3,7 @@
 //! ingestion, aggregation and analytics.
 
 use caraoke_suite::city::{BatchDriver, PhyCity, SegmentId, StoreConfig};
+use caraoke_suite::sim::TwoReaderLocalizationScenario;
 
 fn driver(workers: usize, shards: usize) -> BatchDriver {
     BatchDriver {
@@ -61,6 +62,48 @@ fn sim_to_reader_to_city_produces_coherent_analytics() {
             "street {seg} saw no flow"
         );
     }
+
+    // The PositionSource ladder ran: real §6 fixes dominate, the speed
+    // product consumed position tracks, and the per-method counters add up.
+    let pos = &run.aggregates.positions;
+    assert_eq!(pos.observations(), run.observations);
+    assert!(pos.two_reader_fixes > 0, "no two-reader conic fixes");
+    assert!(
+        pos.localized_fraction() > 0.5,
+        "two-antenna poles should localize most spikes (got {:.2})",
+        pos.localized_fraction()
+    );
+    assert!(
+        pos.track_speed_samples > 0,
+        "speed must come from position tracks, not only pole arrivals"
+    );
+    assert_eq!(
+        pos.track_speed_samples + pos.arrival_speed_samples,
+        run.aggregates.speeds.samples(),
+        "every speed sample is source-tagged"
+    );
+    assert!(pos.mean_sigma_m() > 0.0);
+}
+
+#[test]
+fn two_reader_localization_error_matches_the_papers_meter_claim() {
+    // End-to-end §6 accuracy: full PHY at two opposite-side readers, conic
+    // intersection, error against ground truth — the paper reports ~1 m
+    // median (§12.2).
+    let report = TwoReaderLocalizationScenario::default().run();
+    assert!(
+        report.fix_rate() > 0.7,
+        "fix rate {:.2} ({}/{})",
+        report.fix_rate(),
+        report.fixes,
+        report.attempts
+    );
+    assert!(
+        report.median_error_m < 1.5,
+        "median localization error {:.2} m vs the ~1 m claim",
+        report.median_error_m
+    );
+    assert!(report.p90_error_m < 6.0, "p90 {:.2} m", report.p90_error_m);
 }
 
 #[test]

@@ -9,6 +9,44 @@ use caraoke_suite::live::{
     WindowSpec,
 };
 
+#[test]
+fn position_accuracy_is_queryable_from_the_live_windows() {
+    let city = PhyCity::campus(3, 10, 8);
+    let run = live_driver(4, 8, Interleaving::PoleStriped).run(&city);
+    // The whole-run counters carried through pane sealing.
+    assert!(run.totals.positions.two_reader_fixes > 0);
+    assert!(run.totals.positions.track_speed_samples > 0);
+    // And the windowed product answers coherently.
+    let live = LiveCity::new(
+        city.directory().clone(),
+        live_driver(1, 4, Interleaving::PoleStriped).config,
+    );
+    for epoch in 0..city.epochs() {
+        for pole in 0..city.directory().len() as u32 {
+            live.ingest(&city.report(pole, epoch));
+        }
+    }
+    live.finish();
+    match live.query(&LiveQuery::PositionAccuracy {
+        window: WindowSpec::tumbling(10_000_000),
+    }) {
+        LiveAnswer::PositionAccuracy {
+            two_reader_fixes,
+            pole_fallbacks,
+            localized_fraction,
+            mean_sigma_m,
+            ..
+        } => {
+            assert!(two_reader_fixes > 0, "windowed fixes must be visible");
+            assert!((0.0..=1.0).contains(&localized_fraction));
+            assert!(localized_fraction > 0.5);
+            assert!(mean_sigma_m > 0.0);
+            let _ = pole_fallbacks;
+        }
+        other => panic!("unexpected answer {other:?}"),
+    }
+}
+
 fn live_driver(workers: usize, shards: usize, interleaving: Interleaving) -> LiveDriver {
     LiveDriver {
         workers,

@@ -107,6 +107,45 @@ fn sixteen_ingest_threads_reproduce_the_single_threaded_chain_across_seeds() {
 }
 
 #[test]
+fn position_carrying_observations_keep_byte_identical_fingerprints() {
+    // The PositionSource refactor attaches per-observation f64 position
+    // estimates and regresses speed from position tracks — the most
+    // float-heavy, order-sensitive path in the tracker. 16 racing ingest
+    // threads across shard counts and seeds must still reproduce the
+    // single-threaded chain byte for byte. (The default SyntheticCity
+    // already synthesizes positions; pin it explicitly and crank the
+    // noise so the regression inputs are non-trivial.)
+    let mut source = SyntheticCity::new(48, 24, 4096);
+    source.synthesize_positions = true;
+    source.position_noise_m = 1.4;
+    let reference = reference_run(&source);
+    for (i, seed) in [11u64, 271, 65_537].into_iter().enumerate() {
+        let shards = [1, 7, 16][i];
+        assert_eq!(
+            stressed_run(&source, shards, seed),
+            reference,
+            "positions broke determinism at seed {seed} / {shards} shards"
+        );
+    }
+    // The run really exercised the ladder: all three methods and both
+    // speed sources occurred.
+    let live = LiveCity::new(source.directory().clone(), config(4));
+    for epoch in 0..source.epochs() {
+        for pole in 0..source.directory().len() as u32 {
+            live.ingest(&source.report(pole, epoch));
+        }
+    }
+    live.finish();
+    let pos = live.totals().positions;
+    assert!(pos.two_reader_fixes > 0, "{pos:?}");
+    assert!(pos.aoa_only_fixes > 0, "{pos:?}");
+    assert!(pos.pole_fallbacks > 0, "{pos:?}");
+    assert!(pos.track_speed_samples > 0, "{pos:?}");
+    assert!(pos.arrival_speed_samples > 0, "{pos:?}");
+    assert_eq!(pos.observations(), live.totals().observations);
+}
+
+#[test]
 fn cfo_keyed_identities_survive_the_concurrent_seal_path() {
     // The §8 alias-upgrade path is the most order-sensitive part of the
     // tracker state machine; run it through the stressed delivery as well.
@@ -135,6 +174,7 @@ fn obs(tag: u64, pole: u32, t_us: u64) -> TagObservation {
         timestamp_us: t_us,
         multi_occupied: false,
         decoded: None,
+        position: None,
     }
 }
 

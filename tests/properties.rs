@@ -124,6 +124,7 @@ proptest! {
                     timestamp_us: t_us,
                     multi_occupied: false,
                     decoded: None,
+                    position: None,
                 };
                 PoleReport {
                     pole: PoleId(pole),
