@@ -1,6 +1,6 @@
 //! Bench-regression gate: diffs a fresh `BENCH_*.json` against the
 //! committed baseline and fails (exit code 1) when any throughput key
-//! (`*_obs_per_sec`) dropped by more than the threshold.
+//! (`*_per_sec`: obs/s, panes/s, ...) dropped by more than the threshold.
 //!
 //! Usage:
 //!
@@ -35,13 +35,19 @@ fn parse_numbers(content: &str) -> BTreeMap<String, f64> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-    let threshold_pct: f64 = args
-        .iter()
-        .position(|a| a == "--threshold-pct")
+    let threshold_pos = args.iter().position(|a| a == "--threshold-pct");
+    let threshold_pct: f64 = threshold_pos
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(15.0);
+    // Positional files: everything that is neither a flag nor the value
+    // consumed by `--threshold-pct`.
+    let files: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && Some(*i) != threshold_pos.map(|t| t + 1))
+        .map(|(_, a)| a)
+        .collect();
     let [baseline_path, fresh_path] = files.as_slice() else {
         eprintln!("usage: bench_regress <baseline.json> <fresh.json> [--threshold-pct 15]");
         return ExitCode::from(2);
@@ -61,7 +67,7 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     let mut compared = 0;
-    for (key, &base) in baseline.iter().filter(|(k, _)| k.ends_with("_obs_per_sec")) {
+    for (key, &base) in baseline.iter().filter(|(k, _)| k.ends_with("_per_sec")) {
         let Some(&now) = fresh.get(key) else {
             println!("  {key}: only in baseline (skipped)");
             continue;
@@ -78,18 +84,18 @@ fn main() -> ExitCode {
         } else {
             "ok"
         };
-        println!("  {key}: {base:.0} -> {now:.0} obs/s ({delta_pct:+.1}%) {verdict}");
+        println!("  {key}: {base:.0} -> {now:.0} /s ({delta_pct:+.1}%) {verdict}");
     }
     for key in fresh
         .keys()
-        .filter(|k| k.ends_with("_obs_per_sec") && !baseline.contains_key(*k))
+        .filter(|k| k.ends_with("_per_sec") && !baseline.contains_key(*k))
     {
         println!("  {key}: new key, no baseline (skipped)");
     }
 
     if compared == 0 {
         eprintln!(
-            "bench_regress: no shared *_obs_per_sec keys between {baseline_path} and {fresh_path}"
+            "bench_regress: no shared *_per_sec keys between {baseline_path} and {fresh_path}"
         );
         return ExitCode::from(2);
     }

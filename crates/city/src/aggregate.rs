@@ -53,6 +53,14 @@ impl Fingerprint {
     pub fn finish(&self) -> u64 {
         self.0
     }
+
+    /// Resumes a fingerprint from a previously [`finish`](Self::finish)ed
+    /// state. FNV-1a's state *is* its digest, so a persisted chain (the
+    /// durable pane log) can continue exactly where it left off after a
+    /// restart.
+    pub fn resume(state: u64) -> Self {
+        Self(state)
+    }
 }
 
 impl Default for Fingerprint {
@@ -224,6 +232,31 @@ impl SpeedHistogram {
     /// Number of samples recorded.
     pub fn samples(&self) -> u64 {
         self.samples
+    }
+
+    /// The per-bin sample counts (always [`N_BINS`](Self::N_BINS) entries) —
+    /// the integer state a codec must persist to round-trip the histogram.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Sum of samples quantized to hundredths of a mph (the mean's exact
+    /// integer numerator).
+    pub fn sum_centi_mph(&self) -> u64 {
+        self.sum_centi_mph
+    }
+
+    /// Rebuilds a histogram from its integer parts (the pane-log decode
+    /// path). `bins` shorter than [`N_BINS`](Self::N_BINS) is zero-padded;
+    /// longer is truncated, so a decoded sparse encoding always yields a
+    /// structurally valid histogram.
+    pub fn from_parts(mut bins: Vec<u64>, samples: u64, sum_centi_mph: u64) -> Self {
+        bins.resize(Self::N_BINS, 0);
+        Self {
+            bins,
+            samples,
+            sum_centi_mph,
+        }
     }
 
     /// Mean speed, mph.

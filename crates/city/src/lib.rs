@@ -77,6 +77,6 @@ pub use position::{PolePositionSource, PositionEstimate, PositionMethod, Positio
 pub use queue::{IngestQueue, PushError, QueueStats};
 pub use store::{
     AliasStats, DerivedEvent, PoleDirectory, PoleSite, ShardedStore, SpeedSource, StoreConfig,
-    TagTracker,
+    TagRecord, TagTracker, TrackerDelta,
 };
 pub use synth::SyntheticCity;

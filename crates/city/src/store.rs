@@ -31,7 +31,7 @@ use crate::aggregate::{CityAggregates, SegmentStats};
 use crate::event::{PoleId, PoleReport, SegmentId, TagKey, TagObservation};
 use crate::position::{resolve_position, track_speed_mps, PositionMethod};
 use caraoke_geom::Vec3;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -122,8 +122,10 @@ impl Default for StoreConfig {
 
 /// Most recent position fixes retained per tag for track regression (§7).
 /// Six fixes cover several epochs of a pole-to-pole traversal while keeping
-/// [`TagState`] small and `Copy`.
-const TRACK_CAP: usize = 6;
+/// the per-tag state small and `Copy`. Public because [`TagRecord`] — the
+/// serializable image of the per-tag state — carries the same fixed-size
+/// ring.
+pub const TRACK_CAP: usize = 6;
 
 /// Per-tag sighting state.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -262,6 +264,97 @@ impl AliasStats {
     }
 }
 
+/// Serializable image of one tag's tracker state — field-for-field mirror
+/// of the private per-tag state, exposed for the durable pane log's
+/// snapshot/delta records ([`TagTracker::take_delta`] /
+/// [`TagTracker::apply_delta`]). Track coordinates round-trip exactly
+/// through their IEEE-754 bit patterns, so a recovered tracker is
+/// byte-identical to the one that was persisted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TagRecord {
+    /// Resolved tag key this state is stored under.
+    pub key: u64,
+    /// Pole visited before `last_pole` (`u32::MAX` while unknown).
+    pub prev_pole: u32,
+    /// Latest pole the tag was heard at.
+    pub last_pole: u32,
+    /// Segment before `last_segment` (`u16::MAX` while unknown).
+    pub prev_segment: u16,
+    /// Latest segment the tag was heard in.
+    pub last_segment: u16,
+    /// First time the tag was heard at `last_pole`, µs.
+    pub arrival_us: u64,
+    /// Latest sighting time, µs.
+    pub last_seen_us: u64,
+    /// Light-cycle index of the latest sighting.
+    pub last_cycle: u32,
+    /// Total sightings of this tag.
+    pub sightings: u64,
+    /// Ring of recent real position fixes `(timestamp µs, x, y)`; only the
+    /// first `track_len` entries are valid.
+    pub track: [(u64, f64, f64); TRACK_CAP],
+    /// Number of valid `track` entries.
+    pub track_len: u8,
+}
+
+/// The changes a [`TagTracker`] accumulated since the previous
+/// [`take_delta`](TagTracker::take_delta) drain — or, from
+/// [`export`](TagTracker::export), the full tracker state as one delta from
+/// empty. All lists are sorted by key, so equal tracker histories always
+/// produce byte-identical deltas (the pane log's deterministic encoding
+/// relies on this).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrackerDelta {
+    /// Tags created or modified since the drain: full post-state per key.
+    pub upserts: Vec<TagRecord>,
+    /// Keys removed since the drain (a first decode migrates a
+    /// CFO-signature key's state to its decoded key).
+    pub removals: Vec<u64>,
+    /// Alias-table entries added or re-pointed: `(raw key, decoded key)`.
+    pub aliases: Vec<(u64, u64)>,
+    /// Absolute alias counters at drain time (not a diff — on replay the
+    /// last applied delta's counters win).
+    pub stats: AliasStats,
+}
+
+impl TrackerDelta {
+    /// Whether the delta carries no changes at all (stats aside).
+    pub fn is_empty(&self) -> bool {
+        self.upserts.is_empty() && self.removals.is_empty() && self.aliases.is_empty()
+    }
+}
+
+fn record_of(key: u64, state: &TagState) -> TagRecord {
+    TagRecord {
+        key,
+        prev_pole: state.prev_pole,
+        last_pole: state.last_pole.0,
+        prev_segment: state.prev_segment,
+        last_segment: state.last_segment.0,
+        arrival_us: state.arrival_us,
+        last_seen_us: state.last_seen_us,
+        last_cycle: state.last_cycle,
+        sightings: state.sightings,
+        track: state.track,
+        track_len: state.track_len,
+    }
+}
+
+fn state_of(rec: &TagRecord) -> TagState {
+    TagState {
+        prev_pole: rec.prev_pole,
+        last_pole: PoleId(rec.last_pole),
+        prev_segment: rec.prev_segment,
+        last_segment: SegmentId(rec.last_segment),
+        arrival_us: rec.arrival_us,
+        last_seen_us: rec.last_seen_us,
+        last_cycle: rec.last_cycle,
+        sightings: rec.sightings,
+        track: rec.track,
+        track_len: rec.track_len,
+    }
+}
+
 /// The per-tag transition state machine: consumes observations in canonical
 /// `(timestamp, pole, tag)` order and emits [`DerivedEvent`]s.
 ///
@@ -278,6 +371,13 @@ pub struct TagTracker {
     /// CFO-signature key → decoded key upgrades.
     aliases: HashMap<u64, u64>,
     stats: AliasStats,
+    /// When set, every mutation records its key in the dirty sets so
+    /// [`take_delta`](Self::take_delta) can emit a per-pane change log.
+    /// Off by default: stores that never persist pay nothing but one
+    /// branch per mutation. `BTreeSet` so drained deltas come out sorted.
+    trace: bool,
+    dirty_tags: BTreeSet<u64>,
+    dirty_aliases: BTreeSet<u64>,
 }
 
 impl TagTracker {
@@ -310,8 +410,15 @@ impl TagTracker {
                         // was already tracked in its own right, which wins).
                         self.aliases.insert(raw, decoded);
                         self.stats.decode_upgrades += 1;
+                        if self.trace {
+                            self.dirty_aliases.insert(raw);
+                        }
                         if let Some(state) = self.tags.remove(&raw) {
                             self.tags.entry(decoded).or_insert(state);
+                            if self.trace {
+                                self.dirty_tags.insert(raw);
+                                self.dirty_tags.insert(decoded);
+                            }
                         }
                     }
                     Some(existing) if existing != decoded => {
@@ -319,6 +426,9 @@ impl TagTracker {
                         // signature (the §5 shared-bin regime).
                         self.stats.alias_collisions += 1;
                         self.aliases.insert(raw, decoded);
+                        if self.trace {
+                            self.dirty_aliases.insert(raw);
+                        }
                     }
                     Some(_) => {}
                 }
@@ -342,6 +452,9 @@ impl TagTracker {
         mut emit: impl FnMut(DerivedEvent),
     ) {
         let key = self.resolve(obs);
+        if self.trace {
+            self.dirty_tags.insert(key);
+        }
         let cycle = (obs.timestamp_us / config.light_cycle_us) as u32;
         // Only real fixes feed the position track; the pole fallback would
         // regress to the pole-hop staircase the track is meant to replace.
@@ -450,6 +563,81 @@ impl TagTracker {
                 state.sightings += 1;
             }
         }
+    }
+
+    /// Turns per-mutation dirty tracking on or off. Switching (either way)
+    /// clears the dirty sets, so the first [`take_delta`](Self::take_delta)
+    /// after enabling covers exactly the mutations since the switch.
+    pub fn set_trace(&mut self, on: bool) {
+        self.trace = on;
+        self.dirty_tags.clear();
+        self.dirty_aliases.clear();
+    }
+
+    /// Drains the dirty sets into a [`TrackerDelta`] covering every mutation
+    /// since the last drain. Requires tracing (see
+    /// [`set_trace`](Self::set_trace)); the delta's keys come out sorted, so
+    /// the encoding downstream is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tracing is off — a silent empty delta would corrupt any log
+    /// built from it.
+    pub fn take_delta(&mut self) -> TrackerDelta {
+        assert!(self.trace, "take_delta requires set_trace(true)");
+        let mut delta = TrackerDelta {
+            stats: self.stats,
+            ..TrackerDelta::default()
+        };
+        for key in std::mem::take(&mut self.dirty_tags) {
+            match self.tags.get(&key) {
+                Some(state) => delta.upserts.push(record_of(key, state)),
+                None => delta.removals.push(key),
+            }
+        }
+        for raw in std::mem::take(&mut self.dirty_aliases) {
+            if let Some(&decoded) = self.aliases.get(&raw) {
+                delta.aliases.push((raw, decoded));
+            }
+        }
+        delta
+    }
+
+    /// Exports the tracker's *entire* state as one delta (sorted, removals
+    /// empty) — the snapshot form of [`take_delta`](Self::take_delta). Does
+    /// not touch the dirty sets.
+    pub fn export(&self) -> TrackerDelta {
+        let mut upserts: Vec<TagRecord> = self
+            .tags
+            .iter()
+            .map(|(&key, state)| record_of(key, state))
+            .collect();
+        upserts.sort_unstable_by_key(|rec| rec.key);
+        let mut aliases: Vec<(u64, u64)> = self.aliases.iter().map(|(&r, &d)| (r, d)).collect();
+        aliases.sort_unstable();
+        TrackerDelta {
+            upserts,
+            removals: Vec::new(),
+            aliases,
+            stats: self.stats,
+        }
+    }
+
+    /// Applies a delta produced by [`take_delta`](Self::take_delta) or
+    /// [`export`](Self::export). Deltas must be applied in the order they
+    /// were taken; stats are absolute, not cumulative. Replay does not mark
+    /// anything dirty — the applied state is by definition already durable.
+    pub fn apply_delta(&mut self, delta: &TrackerDelta) {
+        for &key in &delta.removals {
+            self.tags.remove(&key);
+        }
+        for rec in &delta.upserts {
+            self.tags.insert(rec.key, state_of(rec));
+        }
+        for &(raw, decoded) in &delta.aliases {
+            self.aliases.insert(raw, decoded);
+        }
+        self.stats = delta.stats;
     }
 }
 
@@ -710,6 +898,37 @@ mod tests {
         );
         assert_eq!(store.distinct_tags(), 1);
         assert_eq!(store.reports(), 2);
+    }
+
+    #[test]
+    fn tracker_delta_round_trip_reconstructs_state() {
+        let dir = line_directory(4, 30.0);
+        let config = StoreConfig::default();
+        let mut live = TagTracker::new();
+        live.set_trace(true);
+        let mut replica = TagTracker::new();
+
+        // Pane 1: two tags sighted, one with a decode that upgrades an alias.
+        let mut decoded = obs(7, 0, 0, 0);
+        decoded.decoded = Some(caraoke_phy::TransponderId(42));
+        live.apply(&obs(7, 0, 0, 0), &dir, &config, |_| {});
+        live.apply(&decoded, &dir, &config, |_| {});
+        live.apply(&obs(9, 1, 0, 100), &dir, &config, |_| {});
+        replica.apply_delta(&live.take_delta());
+        assert_eq!(replica.export(), live.export());
+
+        // Pane 2: incremental delta only covers the re-sighted tag.
+        live.apply(&obs(9, 2, 0, 2_000_000), &dir, &config, |_| {});
+        let delta = live.take_delta();
+        assert_eq!(delta.upserts.len(), 1);
+        assert!(delta.removals.is_empty());
+        replica.apply_delta(&delta);
+        assert_eq!(replica.export(), live.export());
+        assert_eq!(replica.distinct_tags(), live.distinct_tags());
+        assert_eq!(replica.alias_stats(), live.alias_stats());
+
+        // An empty pane drains to an empty delta.
+        assert!(live.take_delta().upserts.is_empty());
     }
 
     #[test]

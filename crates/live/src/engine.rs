@@ -53,12 +53,17 @@ use crate::watermark::WatermarkClock;
 use crate::window::{WindowAggregate, WindowRing};
 use caraoke_city::aggregate::Fingerprint;
 use caraoke_city::position::resolve_position;
-use caraoke_city::store::{canonical_obs_key, AliasStats, DerivedEvent, SpeedSource, TagTracker};
-use caraoke_city::{
-    CityAggregates, PoleDirectory, PoleReport, SegmentStats, StoreConfig, TagObservation,
+use caraoke_city::store::{
+    canonical_obs_key, AliasStats, DerivedEvent, SpeedSource, TagTracker, TrackerDelta,
 };
+use caraoke_city::{
+    CityAggregates, PoleDirectory, PoleId, PoleReport, SegmentStats, StoreConfig, TagObservation,
+};
+use caraoke_log::{recover_state, LogError, LogOptions, SegmentWriter, SnapshotRecord};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -149,6 +154,14 @@ pub struct LiveStats {
     /// Worker slots currently registered (ingest threads that have not been
     /// decommissioned via [`LiveCity::unregister_worker`]).
     pub worker_slots: u64,
+    /// Poles removed from the watermark quorum via
+    /// [`LiveCity::declare_pole_dead`] (survives recovery: the log
+    /// records each declaration).
+    pub dead_poles: u64,
+    /// Pane-log write failures. Nonzero means the engine kept sealing but
+    /// stopped appending (liveness over durability); the log on disk is
+    /// intact up to the failure point.
+    pub log_errors: u64,
     /// Mid-stream decode alias counters, summed over shards (§8).
     pub alias: AliasStats,
 }
@@ -261,6 +274,20 @@ struct SealedState {
     scratch: Vec<SealEntry>,
 }
 
+/// The durable pane log behind [`LiveCity::with_log`] /
+/// [`LiveCity::recover`]. Locked by the sealer once per seal batch and by
+/// `declare_pole_dead`; never on the ingest path.
+struct LogSink {
+    writer: SegmentWriter,
+    /// Snapshot cadence in panes (0 = never), from
+    /// [`LogOptions::snapshot_every_panes`].
+    snapshot_every: u64,
+    /// `next_pane` as of the last snapshot (or engine start).
+    last_snapshot_pane: u64,
+    /// Set on the first write error: sealing continues, appends stop.
+    failed: bool,
+}
+
 /// What the ingest side tells the sealer thread.
 struct SealerSignal {
     /// Highest pane boundary (exclusive) the sealer has been asked to reach.
@@ -310,6 +337,10 @@ struct LiveCore {
     overflow_shed: AtomicU64,
     forced_panes: AtomicU64,
     forced_pole_misses: AtomicU64,
+    dead_poles: AtomicU64,
+    log_errors: AtomicU64,
+    /// Durable pane log, if this engine was built with one.
+    log: Option<Mutex<LogSink>>,
 }
 
 /// The online city engine. See the module docs for the architecture and
@@ -326,34 +357,145 @@ impl LiveCity {
     /// Creates an engine over the given deployment and spawns its sealer
     /// thread.
     pub fn new(directory: PoleDirectory, config: LiveConfig) -> Self {
+        Self::assemble(directory, config, None, None)
+    }
+
+    /// Like [`new`](Self::new), but every sealed pane is appended to a
+    /// durable log under `log_dir` **before** it becomes queryable —
+    /// including forced and staleness seals — so a crashed engine can be
+    /// [`recover`](Self::recover)ed at the first unsealed pane. `log_dir`
+    /// must not already hold a caraoke log.
+    ///
+    /// A log write failure never stalls sealing: the engine counts it
+    /// ([`LiveStats::log_errors`]), stops appending, and keeps serving.
+    pub fn with_log(
+        directory: PoleDirectory,
+        config: LiveConfig,
+        log_dir: impl AsRef<Path>,
+        opts: LogOptions,
+    ) -> io::Result<Self> {
+        let writer = SegmentWriter::create(log_dir, opts)?;
+        let sink = LogSink {
+            writer,
+            snapshot_every: opts.snapshot_every_panes,
+            last_snapshot_pane: 0,
+            failed: false,
+        };
+        Ok(Self::assemble(directory, config, Some(sink), None))
+    }
+
+    /// Rebuilds an engine from the pane log a [`with_log`](Self::with_log)
+    /// engine wrote: totals, fingerprint chain, window ring, per-shard
+    /// tracker state, dead-pole set and forced-seal counters all resume
+    /// exactly where the last durable pane left them, and the log is
+    /// reopened for appending (any torn tail is truncated on disk first).
+    ///
+    /// The recovered engine's seal floor is the first unsealed pane —
+    /// re-delivering every report at or above it (and none below) resumes
+    /// the run exactly-once: the final chain and totals are byte-identical
+    /// to an uninterrupted run. `config` must match the writing engine's
+    /// (shard count and pane width in particular; a shard mismatch is a
+    /// typed error).
+    pub fn recover(
+        log_dir: impl AsRef<Path>,
+        directory: PoleDirectory,
+        config: LiveConfig,
+        opts: LogOptions,
+    ) -> Result<Self, LogError> {
         let shards = config.store.shards.max(1);
+        let state = recover_state(&log_dir, shards, config.retain_panes)?;
+        let writer = SegmentWriter::open_for_append(&log_dir, opts, state.next_pane)?;
+        let sink = LogSink {
+            writer,
+            snapshot_every: opts.snapshot_every_panes,
+            last_snapshot_pane: state.next_pane,
+            failed: false,
+        };
+        Ok(Self::assemble(directory, config, Some(sink), Some(state)))
+    }
+
+    /// Shared constructor: fresh or recovered state, with or without a
+    /// durable log.
+    fn assemble(
+        directory: PoleDirectory,
+        config: LiveConfig,
+        log: Option<LogSink>,
+        resume: Option<caraoke_log::RecoveredState>,
+    ) -> Self {
+        let shards = config.store.shards.max(1);
+        let (sealed, clock, forced_panes, forced_pole_misses, dead_poles) = match resume {
+            Some(state) => {
+                let mut ring = WindowRing::new(config.retain_panes);
+                for (pane, agg) in state.ring {
+                    ring.push(pane, agg);
+                }
+                let clock = WatermarkClock::resume(
+                    directory.len(),
+                    config.pane_us,
+                    state.next_pane,
+                    &state.dead_poles,
+                );
+                let sealed = SealedState {
+                    next_pane: state.next_pane,
+                    ring,
+                    chain: Fingerprint::resume(state.chain_state),
+                    total: state.total,
+                    trackers: state.trackers,
+                    scratch: Vec::new(),
+                };
+                (
+                    sealed,
+                    clock,
+                    state.forced_panes,
+                    state.forced_pole_misses,
+                    state.dead_poles.len() as u64,
+                )
+            }
+            None => {
+                let mut trackers: Vec<TagTracker> =
+                    (0..shards).map(|_| TagTracker::new()).collect();
+                if log.is_some() {
+                    // Per-pane tracker deltas for the log.
+                    for tracker in &mut trackers {
+                        tracker.set_trace(true);
+                    }
+                }
+                let sealed = SealedState {
+                    next_pane: 0,
+                    ring: WindowRing::new(config.retain_panes),
+                    chain: Fingerprint::new(),
+                    total: CityAggregates::new(),
+                    trackers,
+                    scratch: Vec::new(),
+                };
+                let clock = WatermarkClock::new(directory.len(), config.pane_us);
+                (sealed, clock, 0, 0, 0)
+            }
+        };
+        let seal_floor_us = sealed.next_pane * config.pane_us;
         let core = Arc::new(LiveCore {
-            clock: WatermarkClock::new(directory.len(), config.pane_us),
+            clock,
             engine_id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
             n_shards: shards,
             workers: Mutex::new(Vec::new()),
             orphans: Mutex::new(Vec::new()),
-            sealed: Mutex::new(SealedState {
-                next_pane: 0,
-                ring: WindowRing::new(config.retain_panes),
-                chain: Fingerprint::new(),
-                total: CityAggregates::new(),
-                trackers: (0..shards).map(|_| TagTracker::new()).collect(),
-                scratch: Vec::new(),
-            }),
+            sealed: Mutex::new(sealed),
             pane_sealed: Condvar::new(),
             signal: Mutex::new(SealerSignal {
                 target: 0,
                 shutdown: false,
             }),
             seal_wake: Condvar::new(),
-            seal_floor_us: AtomicU64::new(0),
+            seal_floor_us: AtomicU64::new(seal_floor_us),
             reports: AtomicU64::new(0),
             shed_reports: AtomicU64::new(0),
             shed_observations: AtomicU64::new(0),
             overflow_shed: AtomicU64::new(0),
-            forced_panes: AtomicU64::new(0),
-            forced_pole_misses: AtomicU64::new(0),
+            forced_panes: AtomicU64::new(forced_panes),
+            forced_pole_misses: AtomicU64::new(forced_pole_misses),
+            dead_poles: AtomicU64::new(dead_poles),
+            log_errors: AtomicU64::new(0),
+            log: log.map(Mutex::new),
             directory,
             config,
         });
@@ -366,6 +508,51 @@ impl LiveCity {
             core,
             sealer: Mutex::new(Some(sealer)),
         }
+    }
+
+    /// Removes a stalled pole from the watermark quorum so event-time
+    /// sealing resumes without it: boundaries the pole never reached
+    /// complete from the remaining live poles' credits alone. Returns
+    /// `false` (and changes nothing) when the pole is already dead or is
+    /// the last live pole.
+    ///
+    /// The declaration is counted ([`LiveStats::dead_poles`]), recorded in
+    /// the pane log (replay and [`recover`](Self::recover) stay faithful),
+    /// and irrevocable: observations the dead pole already delivered stay
+    /// sealed, later ones are shed as late once the watermark passes them.
+    /// Like FIFO-per-pole delivery, *quiescence is the caller's
+    /// obligation*: declare a pole dead only once its delivery stream has
+    /// stopped.
+    pub fn declare_pole_dead(&self, pole: PoleId) -> bool {
+        let core = &*self.core;
+        if !core.clock.declare_dead(pole) {
+            return false;
+        }
+        core.dead_poles.fetch_add(1, Ordering::Relaxed);
+        if let Some(log) = &core.log {
+            let mut sink = log.lock().expect("log sink");
+            if !sink.failed {
+                let result = sink
+                    .writer
+                    .append_dead_pole(pole.0)
+                    .and_then(|()| sink.writer.commit_seal());
+                if let Err(err) = result {
+                    sink.failed = true;
+                    core.log_errors.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("caraoke-live: pane log write failed; appends disabled: {err}");
+                }
+            }
+        }
+        // Removing the laggard may have completed boundaries it was
+        // holding back: wake the sealer for them.
+        let target = core
+            .clock
+            .completed()
+            .saturating_sub(core.config.lateness_panes);
+        if target > 0 {
+            core.request_seal(target);
+        }
+        true
     }
 
     /// The deployment directory.
@@ -500,6 +687,8 @@ impl LiveCity {
             forced_panes: core.forced_panes.load(Ordering::Relaxed),
             forced_pole_misses: core.forced_pole_misses.load(Ordering::Relaxed),
             worker_slots,
+            dead_poles: core.dead_poles.load(Ordering::Relaxed),
+            log_errors: core.log_errors.load(Ordering::Relaxed),
             alias,
         }
     }
@@ -715,7 +904,7 @@ impl LiveCore {
             };
             match target {
                 Some(target) => {
-                    self.seal_up_to(target);
+                    self.seal_up_to(target, false);
                     sealed_to = sealed_to.max(target);
                 }
                 None => {
@@ -738,23 +927,17 @@ impl LiveCore {
         if force <= next_pane {
             return None;
         }
-        // Telemetry first: which poles will miss each forced pane. Racy
-        // against a pole reviving this instant — that pole's data still
-        // seals correctly below; only the miss count can over-report.
-        let mut misses = 0u64;
-        for pane in next_pane..force {
-            misses += self.clock.poles_behind((pane + 1) * pane_us) as u64;
-        }
-        self.forced_panes
-            .fetch_add(force - next_pane, Ordering::Relaxed);
-        self.forced_pole_misses.fetch_add(misses, Ordering::Relaxed);
-        self.seal_up_to(force);
+        self.seal_up_to(force, true);
         Some(force)
     }
 
     /// Seals every pane below `target` (exclusive), in pane order. Runs on
-    /// the sealer thread only.
-    fn seal_up_to(&self, target: u64) {
+    /// the sealer thread only. `forced` marks staleness-path seals: each
+    /// pane is counted as forced with its per-pane pole-miss count —
+    /// telemetry the pane log persists so replay is faithful. (Racy
+    /// against a pole reviving this instant — its data still seals
+    /// correctly; only the miss count can over-report.)
+    fn seal_up_to(&self, target: u64, forced: bool) {
         let mut sealed = self.sealed.lock().expect("sealed state");
         if sealed.next_pane >= target {
             return;
@@ -869,14 +1052,86 @@ impl LiveCore {
                     agg.segments.entry(seg).or_default().merge(&stats);
                 }
             }
+            let pole_misses = if forced {
+                self.forced_panes.fetch_add(1, Ordering::Relaxed);
+                let misses = self.clock.poles_behind((pane + 1) * pane_us) as u64;
+                self.forced_pole_misses.fetch_add(misses, Ordering::Relaxed);
+                misses as u32
+            } else {
+                0
+            };
             let fingerprint = agg.fingerprint64();
             state.chain.write_u64(pane);
             state.chain.write_u64(fingerprint);
             state.total.merge(&agg);
+            // Durability before visibility: the pane record (and any due
+            // snapshot) is appended while we still hold the sealed lock,
+            // before the pane enters the ring or moves the seal floor. A
+            // write failure flips the sink to failed — sealing continues,
+            // appends stop (liveness over durability), and the log on disk
+            // stays a valid prefix.
+            if let Some(log) = &self.log {
+                let chain_now = state.chain.finish();
+                let deltas: Vec<TrackerDelta> = state
+                    .trackers
+                    .iter_mut()
+                    .map(TagTracker::take_delta)
+                    .collect();
+                let mut sink = log.lock().expect("log sink");
+                if !sink.failed {
+                    let due_snapshot = sink.snapshot_every > 0
+                        && pane + 1 >= sink.last_snapshot_pane + sink.snapshot_every;
+                    let result = sink
+                        .writer
+                        .append_pane(
+                            pane,
+                            forced,
+                            pole_misses,
+                            fingerprint,
+                            chain_now,
+                            &agg,
+                            &deltas,
+                        )
+                        .and_then(|()| {
+                            if !due_snapshot {
+                                return Ok(());
+                            }
+                            sink.last_snapshot_pane = pane + 1;
+                            let snap = SnapshotRecord {
+                                next_pane: pane + 1,
+                                chain: chain_now,
+                                forced_panes: self.forced_panes.load(Ordering::Relaxed),
+                                forced_pole_misses: self.forced_pole_misses.load(Ordering::Relaxed),
+                                dead_poles: self.clock.dead_poles(),
+                                total: state.total.clone(),
+                                trackers: state.trackers.iter().map(TagTracker::export).collect(),
+                            };
+                            sink.writer.append_snapshot(&snap)
+                        });
+                    if let Err(err) = result {
+                        sink.failed = true;
+                        self.log_errors.fetch_add(1, Ordering::Relaxed);
+                        eprintln!("caraoke-live: pane log write failed; appends disabled: {err}");
+                    }
+                }
+            }
             state.ring.push(pane, agg);
             state.next_pane = pane + 1;
             self.seal_floor_us
                 .store((pane + 1) * pane_us, Ordering::Release);
+        }
+        // One fsync-policy commit per seal batch, still under the sealed
+        // lock: every pane above is durable (per policy) before any query
+        // can observe it.
+        if let Some(log) = &self.log {
+            let mut sink = log.lock().expect("log sink");
+            if !sink.failed {
+                if let Err(err) = sink.writer.commit_seal() {
+                    sink.failed = true;
+                    self.log_errors.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("caraoke-live: pane log commit failed; appends disabled: {err}");
+                }
+            }
         }
         debug_assert_eq!(idx, scratch.len(), "every drained observation sealed");
         scratch.clear();
@@ -1148,6 +1403,147 @@ mod tests {
         assert_eq!(stats.shed_observations, 0);
         assert_eq!(stats.overflow_shed, 0);
         assert_eq!(stats.buffered_observations, 0);
+    }
+
+    /// Fresh scratch directory for log tests (unit tests have no
+    /// `CARGO_TARGET_TMPDIR`).
+    fn scratch_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("caraoke-live-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn with_log_writes_a_replayable_chain_equal_log() {
+        let dir = scratch_dir("with-log");
+        let live = LiveCity::with_log(directory(2), tiny_config(), &dir, LogOptions::default())
+            .expect("create logged engine");
+        for epoch in 0..5u64 {
+            let t = epoch * 1_000_000;
+            live.ingest(&report(0, 0, t, vec![obs(7, 0, 0, t)]));
+            live.ingest(&report(1, 0, t, vec![obs(8, 1, 0, t), obs(9, 1, 0, t)]));
+        }
+        live.finish();
+        let chain = live.fingerprint_chain();
+        let totals = live.totals();
+        assert_eq!(live.stats().log_errors, 0);
+        drop(live);
+        let replay = caraoke_log::LogCity::open(&dir)
+            .replay()
+            .expect("verified replay");
+        assert_eq!(replay.chain, chain, "replay chain == live chain");
+        assert_eq!(replay.totals, totals, "replay totals byte-identical");
+        assert_eq!(replay.panes, 5);
+        // A second engine on the same directory must refuse, not clobber.
+        assert!(
+            LiveCity::with_log(directory(2), tiny_config(), &dir, LogOptions::default()).is_err()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_resumes_byte_identical_to_an_uninterrupted_run() {
+        let deliver = |live: &LiveCity, from_us: u64| {
+            for epoch in 0..6u64 {
+                let t = epoch * 1_000_000;
+                if t < from_us {
+                    continue;
+                }
+                live.ingest(&report(0, 0, t, vec![obs(40 + epoch, 0, 0, t)]));
+                live.ingest(&report(1, 0, t, vec![obs(41, 1, 0, t)]));
+            }
+        };
+        // Reference: one uninterrupted logged run.
+        let ref_dir = scratch_dir("recover-ref");
+        let reference =
+            LiveCity::with_log(directory(2), tiny_config(), &ref_dir, LogOptions::default())
+                .expect("reference engine");
+        deliver(&reference, 0);
+        reference.finish();
+        let ref_chain = reference.fingerprint_chain();
+        let ref_totals = reference.totals();
+        drop(reference);
+
+        // Crashed run: same stream, killed mid-flight (drop without
+        // finish), then recovered and re-fed from the seal floor.
+        let dir = scratch_dir("recover-crash");
+        let crashed = LiveCity::with_log(directory(2), tiny_config(), &dir, LogOptions::default())
+            .expect("crashed engine");
+        deliver(&crashed, 0);
+        drop(crashed); // "crash": sealer drains its outstanding target and stops.
+        let recovered = LiveCity::recover(&dir, directory(2), tiny_config(), LogOptions::default())
+            .expect("recover from pane log");
+        let floor_us = recovered.stats().seal_floor_us;
+        assert!(floor_us > 0, "the crashed run sealed at least one pane");
+        // Exactly-once resume: everything at or above the floor again.
+        deliver(&recovered, floor_us);
+        recovered.finish();
+        assert_eq!(recovered.fingerprint_chain(), ref_chain);
+        assert_eq!(recovered.totals(), ref_totals);
+        assert_eq!(recovered.stats().log_errors, 0);
+        drop(recovered);
+        // The stitched log replays to the same chain, too.
+        let replay = caraoke_log::LogCity::open(&dir)
+            .replay()
+            .expect("verified replay");
+        assert_eq!(replay.chain, ref_chain);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&ref_dir);
+    }
+
+    #[test]
+    fn declaring_a_pole_dead_resumes_sealing_and_is_logged() {
+        let dir = scratch_dir("dead-pole");
+        let live = LiveCity::with_log(directory(3), tiny_config(), &dir, LogOptions::default())
+            .expect("logged engine");
+        // Poles 0 and 1 run to t = 4 s; pole 2 stalls at t = 0.
+        live.ingest(&report(2, 0, 0, vec![obs(3, 2, 0, 0)]));
+        for pole in 0..2u32 {
+            for epoch in 0..5u64 {
+                let t = epoch * 1_000_000;
+                live.ingest(&report(pole, 0, t, vec![obs(pole as u64, pole, 0, t)]));
+            }
+        }
+        live.wait_idle();
+        assert_eq!(live.sealed_panes(), 0, "stalled pole blocks the watermark");
+        assert!(live.declare_pole_dead(PoleId(2)));
+        assert!(!live.declare_pole_dead(PoleId(2)), "already dead");
+        live.wait_idle();
+        assert_eq!(live.sealed_panes(), 4, "quorum shrinks; sealing resumes");
+        let stats = live.stats();
+        assert_eq!(stats.dead_poles, 1);
+        assert_eq!(stats.forced_panes, 0, "event-time seals, not forced");
+        live.finish();
+        let chain = live.fingerprint_chain();
+        assert_eq!(
+            live.totals().observations,
+            11,
+            "the dead pole's pre-stall observation still sealed"
+        );
+        drop(live);
+        let replay = caraoke_log::LogCity::open(&dir)
+            .replay()
+            .expect("verified replay");
+        assert_eq!(replay.dead_poles, vec![2], "declaration is in the log");
+        assert_eq!(replay.chain, chain);
+        // Recovery keeps the pole dead: the two live poles alone advance
+        // event time.
+        let recovered = LiveCity::recover(&dir, directory(3), tiny_config(), LogOptions::default())
+            .expect("recover");
+        assert_eq!(recovered.stats().dead_poles, 1);
+        let floor_us = recovered.stats().seal_floor_us;
+        for pole in 0..2u32 {
+            let t = floor_us + 1_000_000;
+            recovered.ingest(&report(pole, 0, t, vec![obs(pole as u64, pole, 0, t)]));
+        }
+        recovered.wait_idle();
+        assert!(
+            recovered.sealed_panes() > floor_us / 1_000_000,
+            "watermark advances without the dead pole"
+        );
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!                    |
 //!              caraoke-city                  batch: sharded store, sort-at-
 //!                    |                       finalize, whole-run snapshot
+//!              caraoke-log                   durable sealed-pane log:
+//!                    |                       verified replay, recovery
 //!              caraoke-live  ← this crate    online: watermarked ingest,
 //!                                            windowed aggregates, query API
 //! ```
@@ -27,7 +29,12 @@
 //! * [`engine`] — [`LiveCity`]: per-worker out-of-order buffering, a
 //!   dedicated sealer thread doing deterministic pane sealing behind the
 //!   watermark, shed counting for late arrivals, and a fingerprint chain
-//!   over the sealed window sequence.
+//!   over the sealed window sequence. With [`LiveCity::with_log`] every
+//!   sealed pane is appended to a durable `caraoke-log` segment log
+//!   *before* it becomes queryable, and [`LiveCity::recover`] rebuilds a
+//!   crashed engine at its first unsealed pane;
+//!   [`LiveCity::declare_pole_dead`] removes a stalled pole from the
+//!   watermark quorum so event-time sealing resumes.
 //! * [`query`] — [`LiveCity::query`] point-in-time answers (windowed
 //!   occupancy, flow over the last K cycles, speed percentiles, top-N OD
 //!   pairs, and the §6 position-accuracy product: per-method fix counts,

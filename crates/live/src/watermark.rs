@@ -47,7 +47,7 @@
 
 use caraoke_city::PoleId;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// How many open pane boundaries the counter ring can address at once —
@@ -87,6 +87,16 @@ pub struct WatermarkClock {
     /// path skip the lock entirely when the map is empty.
     overflow: Mutex<BTreeMap<u64, usize>>,
     overflow_len: AtomicUsize,
+    /// Poles removed from the seal quorum (`declare_dead`). A dead pole's
+    /// frontier freezes — its `observe` calls are ignored — and boundaries
+    /// past that frontier complete without it.
+    dead: Vec<AtomicBool>,
+    /// How many poles are dead; the advance path skips the per-boundary
+    /// quorum scan entirely while this is 0 (the common case).
+    dead_count: AtomicUsize,
+    /// Serializes `declare_dead` so the refuse-last-live-pole check and the
+    /// flag flip are atomic with respect to other declarations.
+    dead_lock: Mutex<()>,
 }
 
 impl WatermarkClock {
@@ -102,7 +112,31 @@ impl WatermarkClock {
             counts: (0..RING_BOUNDARIES).map(|_| AtomicUsize::new(0)).collect(),
             overflow: Mutex::new(BTreeMap::new()),
             overflow_len: AtomicUsize::new(0),
+            dead: (0..n_poles).map(|_| AtomicBool::new(false)).collect(),
+            dead_count: AtomicUsize::new(0),
+            dead_lock: Mutex::new(()),
         }
+    }
+
+    /// Rebuilds a clock from recovered state: every frontier (and the
+    /// watermark) starts at the recovery floor `completed * pane_us`, and
+    /// previously-declared dead poles stay dead. Sources re-deliver from
+    /// the floor, so frontiers catch up naturally.
+    pub fn resume(n_poles: usize, pane_us: u64, completed: u64, dead: &[u32]) -> Self {
+        let clock = Self::new(n_poles, pane_us);
+        let floor_us = completed * pane_us;
+        clock.completed.store(completed, Ordering::Release);
+        clock.max_frontier.store(floor_us, Ordering::Release);
+        for frontier in &clock.frontier {
+            frontier.0.store(floor_us, Ordering::Release);
+        }
+        for &pole in dead {
+            if let Some(flag) = clock.dead.get(pole as usize) {
+                flag.store(true, Ordering::Release);
+                clock.dead_count.fetch_add(1, Ordering::Release);
+            }
+        }
+        clock
     }
 
     /// Pane width, µs.
@@ -124,6 +158,15 @@ impl WatermarkClock {
     /// concurrent `observe`s of one pole are resolved by `fetch_max`, whose
     /// return values carve the crossed boundaries into disjoint ranges.
     pub fn observe(&self, pole: PoleId, timestamp_us: u64) -> Option<u64> {
+        if self.dead_count.load(Ordering::Relaxed) != 0
+            && self.dead[pole.0 as usize].load(Ordering::Acquire)
+        {
+            // A dead pole's frontier is frozen; late stragglers from it
+            // must not credit boundaries the quorum no longer expects
+            // (callers agree not to race `declare_dead` with in-flight
+            // deliveries — see `declare_dead`).
+            return None;
+        }
         let old = self.frontier[pole.0 as usize]
             .0
             .fetch_max(timestamp_us, Ordering::AcqRel);
@@ -198,10 +241,21 @@ impl WatermarkClock {
         loop {
             let completed = self.completed.load(Ordering::Acquire);
             let slot = &self.counts[completed as usize % RING_BOUNDARIES];
+            // The quorum for boundary `completed + 1`: every pole except
+            // the dead ones whose frozen frontier never crossed it (dead
+            // poles *past* it credited it while alive, so they count).
+            // `need` only shrinks for a fixed boundary (poles never come
+            // back to life), and the winner below subtracts the same
+            // `need` it checked with, so slot accounting stays exact.
+            let need = if self.dead_count.load(Ordering::Acquire) == 0 {
+                n_poles
+            } else {
+                n_poles - self.dead_behind((completed + 1) * self.pane_us)
+            };
             // A full count here can only belong to boundary `completed + 1`:
             // credits for the slot's next occupant are admitted only once
             // `completed` has moved past it — which would make our CAS fail.
-            if slot.load(Ordering::Acquire) < n_poles {
+            if slot.load(Ordering::Acquire) < need {
                 // The missing credit may be sitting in the overflow map (a
                 // pole parked it just as the horizon swept past — see
                 // `credit`'s Dekker re-check): fold the map in once and
@@ -227,7 +281,7 @@ impl WatermarkClock {
                 // fresh `completed`.
                 continue;
             }
-            slot.fetch_sub(n_poles, Ordering::AcqRel);
+            slot.fetch_sub(need, Ordering::AcqRel);
             advanced = true;
             if self.overflow_len.load(Ordering::SeqCst) > 0 {
                 self.drain_overflow();
@@ -280,6 +334,64 @@ impl WatermarkClock {
         self.frontier
             .iter()
             .filter(|f| f.0.load(Ordering::Acquire) < timestamp_us)
+            .count()
+    }
+
+    /// Removes a stalled pole from the seal quorum: boundaries beyond its
+    /// frozen frontier complete without it, so event-time sealing resumes
+    /// instead of waiting for wall-clock forced seals. Returns `false` if
+    /// the pole is already dead or is the last live pole (a clock needs at
+    /// least one live frontier to define event time).
+    ///
+    /// **Contract:** only declare a pole dead after its delivery stream
+    /// has stopped. An `observe` for the pole racing this call can credit
+    /// a boundary the shrunken quorum no longer expects, double-counting
+    /// it — the same class of caller obligation as FIFO-per-pole delivery.
+    pub fn declare_dead(&self, pole: PoleId) -> bool {
+        let p = pole.0 as usize;
+        let _guard = self.dead_lock.lock().expect("watermark dead lock");
+        if self.dead[p].load(Ordering::Acquire) {
+            return false;
+        }
+        if self.dead_count.load(Ordering::Acquire) + 1 >= self.frontier.len() {
+            return false;
+        }
+        self.dead[p].store(true, Ordering::Release);
+        self.dead_count.fetch_add(1, Ordering::SeqCst);
+        // Boundaries that were only waiting on this pole can complete now.
+        self.advance();
+        true
+    }
+
+    /// Whether a pole has been declared dead.
+    pub fn is_dead(&self, pole: PoleId) -> bool {
+        self.dead[pole.0 as usize].load(Ordering::Acquire)
+    }
+
+    /// Poles declared dead so far, ascending.
+    pub fn dead_poles(&self) -> Vec<u32> {
+        if self.dead_count.load(Ordering::Acquire) == 0 {
+            return Vec::new();
+        }
+        self.dead
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.load(Ordering::Acquire))
+            .map(|(p, _)| p as u32)
+            .collect()
+    }
+
+    /// Dead poles whose frozen frontier never reached `timestamp_us` — the
+    /// poles excused from the quorum of the pane ending there. O(poles),
+    /// but only runs while at least one pole is dead (operator events, not
+    /// steady state).
+    fn dead_behind(&self, timestamp_us: u64) -> usize {
+        self.dead
+            .iter()
+            .zip(&self.frontier)
+            .filter(|(dead, frontier)| {
+                dead.load(Ordering::Acquire) && frontier.0.load(Ordering::Acquire) < timestamp_us
+            })
             .count()
     }
 }
@@ -387,6 +499,68 @@ mod tests {
         }
         assert_eq!(clock.watermark_us(), far / 1_000 * 1_000);
         assert_eq!(clock.completed(), RING_BOUNDARIES as u64 + 1_000);
+    }
+
+    #[test]
+    fn declaring_a_pole_dead_resumes_event_time_sealing() {
+        let clock = WatermarkClock::new(3, 1_000);
+        clock.observe(PoleId(0), 5_500);
+        clock.observe(PoleId(1), 5_200);
+        clock.observe(PoleId(2), 1_400); // then it goes silent
+        assert_eq!(clock.watermark_us(), 1_000);
+        // Pole 2 is declared dead: boundaries past its frozen frontier
+        // complete from the surviving quorum alone.
+        assert!(clock.declare_dead(PoleId(2)));
+        assert_eq!(clock.watermark_us(), 5_000);
+        // Dead is idempotent-false, and its stragglers are ignored.
+        assert!(!clock.declare_dead(PoleId(2)));
+        assert!(clock.is_dead(PoleId(2)));
+        assert_eq!(clock.observe(PoleId(2), 9_000), None);
+        assert_eq!(clock.frontier_us(PoleId(2)), 1_400);
+        // The survivors keep advancing the watermark without pole 2.
+        clock.observe(PoleId(0), 8_000);
+        assert_eq!(clock.observe(PoleId(1), 7_000), Some(7));
+        assert_eq!(clock.dead_poles(), vec![2]);
+    }
+
+    #[test]
+    fn the_last_live_pole_cannot_be_declared_dead() {
+        let clock = WatermarkClock::new(2, 1_000);
+        assert!(clock.declare_dead(PoleId(0)));
+        assert!(!clock.declare_dead(PoleId(1)), "one frontier must survive");
+        clock.observe(PoleId(1), 3_000);
+        assert_eq!(clock.watermark_us(), 3_000);
+    }
+
+    #[test]
+    fn a_dead_pole_ahead_of_a_boundary_still_counts_toward_it() {
+        let clock = WatermarkClock::new(3, 1_000);
+        clock.observe(PoleId(0), 4_000);
+        clock.observe(PoleId(1), 900);
+        // Pole 0 credited boundaries 1..=4 while alive, then died.
+        assert!(clock.declare_dead(PoleId(0)));
+        // Its past credits must still count: once poles 1 and 2 pass a
+        // boundary below 4 000 µs, the full 3-credit quorum is met.
+        clock.observe(PoleId(1), 2_500);
+        assert_eq!(clock.observe(PoleId(2), 2_100), Some(2));
+        // Beyond the dead pole's frontier the quorum shrinks to 2.
+        clock.observe(PoleId(1), 6_000);
+        assert_eq!(clock.observe(PoleId(2), 6_000), Some(6));
+    }
+
+    #[test]
+    fn resume_restores_floor_and_dead_set() {
+        let clock = WatermarkClock::resume(3, 1_000, 7, &[1]);
+        assert_eq!(clock.completed(), 7);
+        assert_eq!(clock.watermark_us(), 7_000);
+        assert_eq!(clock.max_frontier_us(), 7_000);
+        assert_eq!(clock.frontier_us(PoleId(0)), 7_000);
+        assert!(clock.is_dead(PoleId(1)));
+        assert_eq!(clock.observe(PoleId(1), 9_000), None);
+        // Live poles advance the resumed watermark from the floor, without
+        // the dead pole.
+        clock.observe(PoleId(0), 9_000);
+        assert_eq!(clock.observe(PoleId(2), 8_200), Some(8));
     }
 
     #[test]

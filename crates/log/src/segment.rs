@@ -1,0 +1,378 @@
+//! The append side: size-rotated segment files, a manifest, fsync policy,
+//! and torn-tail repair for reopening after a crash.
+//!
+//! A segment file is a 16-byte header (`b"CARAOKLG"`, format version u32,
+//! reserved u32) followed by framed records: `[len u32][crc u32][payload]`,
+//! all little-endian. A crash can leave a half-written record at the tail
+//! of the last segment; the length prefix plus CRC make that detectable,
+//! and [`SegmentWriter::open_for_append`] truncates it away before the
+//! writer continues in a fresh segment.
+
+use crate::codec::{self, SnapshotRecord};
+use caraoke_city::store::TrackerDelta;
+use caraoke_city::CityAggregates;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"CARAOKLG";
+/// On-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Segment header length in bytes.
+pub const HEADER_LEN: u64 = 16;
+/// The manifest file name inside a log directory.
+pub const MANIFEST: &str = "MANIFEST";
+/// First line of the manifest.
+pub const MANIFEST_HEADER: &str = "caraoke-log 1";
+
+/// When the writer calls `fsync` on the active segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// After every seal batch — strongest durability, slowest.
+    EverySeal,
+    /// After every N seal batches (and always after a snapshot).
+    EveryN(u32),
+    /// Never (the OS flushes on its own schedule) — crash loses the
+    /// unflushed tail, which replay detects and truncates.
+    Never,
+}
+
+impl Default for FsyncPolicy {
+    fn default() -> Self {
+        FsyncPolicy::EveryN(64)
+    }
+}
+
+/// Writer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogOptions {
+    /// Fsync cadence (see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+    /// Rotate to a new segment once the active one exceeds this many bytes.
+    pub segment_bytes: u64,
+    /// Write a cumulative snapshot every this many sealed panes
+    /// (`0` = never). Snapshots open a fresh segment, so truncation can
+    /// drop everything before them.
+    pub snapshot_every_panes: u64,
+    /// Delete pre-snapshot segments once the snapshot is durable.
+    pub truncate_on_snapshot: bool,
+}
+
+impl Default for LogOptions {
+    fn default() -> Self {
+        Self {
+            fsync: FsyncPolicy::default(),
+            segment_bytes: 8 * 1024 * 1024,
+            snapshot_every_panes: 1024,
+            truncate_on_snapshot: true,
+        }
+    }
+}
+
+/// Appends framed records to size-rotated segments under one directory.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    dir: PathBuf,
+    opts: LogOptions,
+    /// Manifest order: every live segment file name, oldest first.
+    segments: Vec<String>,
+    file: BufWriter<File>,
+    current_bytes: u64,
+    seals_since_sync: u32,
+    /// Naming hint for the next rotation: the first pane it could contain.
+    next_pane_hint: u64,
+}
+
+impl SegmentWriter {
+    /// Creates a fresh log in `dir` (created if missing). Fails with
+    /// [`io::ErrorKind::AlreadyExists`] if the directory already holds a
+    /// manifest — reopening an existing log goes through
+    /// [`open_for_append`](Self::open_for_append).
+    pub fn create(dir: impl AsRef<Path>, opts: LogOptions) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        if dir.join(MANIFEST).exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("{} already holds a caraoke log", dir.display()),
+            ));
+        }
+        let mut writer = Self {
+            dir,
+            opts,
+            segments: Vec::new(),
+            // Placeholder; start_segment replaces it immediately.
+            file: BufWriter::new(tempfile_placeholder()?),
+            current_bytes: 0,
+            seals_since_sync: 0,
+            next_pane_hint: 0,
+        };
+        writer.start_segment(0)?;
+        Ok(writer)
+    }
+
+    /// Reopens an existing log for appending after `next_pane - 1` was the
+    /// last fully-replayable pane: truncates any torn tail off the last
+    /// segment (on disk, so later full replays never see it), then starts
+    /// a fresh segment for the writer's own records.
+    pub fn open_for_append(
+        dir: impl AsRef<Path>,
+        opts: LogOptions,
+        next_pane: u64,
+    ) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        let mut segments = read_manifest(&dir)?;
+        if let Some(last) = segments.last() {
+            let path = dir.join(last);
+            let valid = scan_valid_len(&path)?;
+            let actual = fs::metadata(&path)?.len();
+            if valid < actual {
+                let file = OpenOptions::new().write(true).open(&path)?;
+                file.set_len(valid)?;
+                file.sync_all()?;
+            }
+            if valid < HEADER_LEN {
+                // Crash mid segment creation: the file never even got its
+                // header. Drop it entirely.
+                fs::remove_file(&path)?;
+                segments.pop();
+            }
+        }
+        let mut writer = Self {
+            dir,
+            opts,
+            segments,
+            file: BufWriter::new(tempfile_placeholder()?),
+            current_bytes: 0,
+            seals_since_sync: 0,
+            next_pane_hint: next_pane,
+        };
+        writer.start_segment(next_pane)?;
+        Ok(writer)
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Live segment file names, oldest first.
+    pub fn segments(&self) -> &[String] {
+        &self.segments
+    }
+
+    /// Appends one sealed pane. Rotation happens *between* records, so a
+    /// record never straddles segments.
+    #[allow(clippy::too_many_arguments)]
+    pub fn append_pane(
+        &mut self,
+        pane: u64,
+        forced: bool,
+        pole_misses: u32,
+        fingerprint: u64,
+        chain: u64,
+        aggregates: &CityAggregates,
+        deltas: &[TrackerDelta],
+    ) -> io::Result<()> {
+        self.maybe_rotate(pane)?;
+        let payload = codec::encode_pane(
+            pane,
+            forced,
+            pole_misses,
+            fingerprint,
+            chain,
+            aggregates,
+            deltas,
+        );
+        self.write_record(&payload)?;
+        self.next_pane_hint = pane + 1;
+        Ok(())
+    }
+
+    /// Appends a dead-pole marker.
+    pub fn append_dead_pole(&mut self, pole: u32) -> io::Result<()> {
+        self.write_record(&codec::encode_dead_pole(pole))
+    }
+
+    /// Appends a cumulative snapshot. The snapshot always opens a fresh
+    /// segment and is fsynced before this returns; with
+    /// [`LogOptions::truncate_on_snapshot`] set, every earlier segment is
+    /// then deleted (the snapshot alone can reconstruct their state).
+    pub fn append_snapshot(&mut self, snap: &SnapshotRecord) -> io::Result<()> {
+        self.rotate(snap.next_pane)?;
+        self.write_record(&codec::encode_snapshot(snap))?;
+        // Durability ordering: the snapshot must be on disk before the
+        // segments it replaces disappear.
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        self.seals_since_sync = 0;
+        if self.opts.truncate_on_snapshot && self.segments.len() > 1 {
+            let old: Vec<String> = self.segments.drain(..self.segments.len() - 1).collect();
+            self.write_manifest()?;
+            for name in old {
+                fs::remove_file(self.dir.join(name))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks the end of one seal batch: flushes the buffered writer and
+    /// applies the fsync policy.
+    pub fn commit_seal(&mut self) -> io::Result<()> {
+        self.file.flush()?;
+        match self.opts.fsync {
+            FsyncPolicy::EverySeal => {
+                self.file.get_ref().sync_data()?;
+                self.seals_since_sync = 0;
+            }
+            FsyncPolicy::EveryN(n) => {
+                self.seals_since_sync += 1;
+                if self.seals_since_sync >= n.max(1) {
+                    self.file.get_ref().sync_data()?;
+                    self.seals_since_sync = 0;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Flushes and fsyncs unconditionally (shutdown path).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        self.seals_since_sync = 0;
+        Ok(())
+    }
+
+    fn write_record(&mut self, payload: &[u8]) -> io::Result<()> {
+        let len = payload.len() as u32;
+        let crc = codec::crc32(payload);
+        self.file.write_all(&len.to_le_bytes())?;
+        self.file.write_all(&crc.to_le_bytes())?;
+        self.file.write_all(payload)?;
+        self.current_bytes += 8 + payload.len() as u64;
+        Ok(())
+    }
+
+    fn maybe_rotate(&mut self, first_pane: u64) -> io::Result<()> {
+        if self.current_bytes >= self.opts.segment_bytes.max(HEADER_LEN + 1) {
+            self.rotate(first_pane)?;
+        }
+        Ok(())
+    }
+
+    fn rotate(&mut self, first_pane: u64) -> io::Result<()> {
+        self.sync()?;
+        self.start_segment(first_pane)
+    }
+
+    fn start_segment(&mut self, first_pane: u64) -> io::Result<()> {
+        let mut name = format!("seg-{first_pane:020}.calog");
+        let mut suffix = 0u32;
+        while self.dir.join(&name).exists() {
+            suffix += 1;
+            name = format!("seg-{first_pane:020}-{suffix}.calog");
+        }
+        let mut file = File::create(self.dir.join(&name))?;
+        file.write_all(SEGMENT_MAGIC)?;
+        file.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        file.write_all(&0u32.to_le_bytes())?;
+        file.sync_data()?;
+        self.file = BufWriter::new(file);
+        self.current_bytes = HEADER_LEN;
+        self.segments.push(name);
+        self.write_manifest()
+    }
+
+    fn write_manifest(&self) -> io::Result<()> {
+        let mut body = String::from(MANIFEST_HEADER);
+        body.push('\n');
+        for name in &self.segments {
+            body.push_str(name);
+            body.push('\n');
+        }
+        let tmp = self.dir.join("MANIFEST.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(body.as_bytes())?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, self.dir.join(MANIFEST))?;
+        // Best-effort directory fsync so the rename itself is durable.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+}
+
+impl Drop for SegmentWriter {
+    fn drop(&mut self) {
+        let _ = self.file.flush();
+        let _ = self.file.get_ref().sync_data();
+    }
+}
+
+/// An anonymous throwaway file standing in until `start_segment` runs;
+/// keeps the `file` field non-optional.
+fn tempfile_placeholder() -> io::Result<File> {
+    // /dev/null is always writable and never grows; on the off chance it is
+    // unavailable, fall back to an error the caller surfaces.
+    File::create("/dev/null").or_else(|_| File::open("/dev/null"))
+}
+
+/// Reads and validates the manifest, returning segment names oldest-first.
+pub fn read_manifest(dir: &Path) -> io::Result<Vec<String>> {
+    let body = fs::read_to_string(dir.join(MANIFEST))?;
+    let mut lines = body.lines();
+    if lines.next() != Some(MANIFEST_HEADER) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{}: not a caraoke-log manifest", dir.display()),
+        ));
+    }
+    Ok(lines
+        .filter(|l| !l.is_empty())
+        .map(str::to_string)
+        .collect())
+}
+
+/// Length of the valid prefix of a segment file: the header plus every
+/// complete, CRC-clean record. Anything past that is a torn or corrupt
+/// tail from an interrupted write.
+pub fn scan_valid_len(path: &Path) -> io::Result<u64> {
+    let bytes = fs::read(path)?;
+    if bytes.len() < HEADER_LEN as usize || &bytes[..8] != SEGMENT_MAGIC {
+        return Ok(0);
+    }
+    let mut pos = HEADER_LEN as usize;
+    loop {
+        let Some(frame) = bytes.get(pos..pos + 8) else {
+            return Ok(pos as u64);
+        };
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(frame[4..8].try_into().unwrap());
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
+            return Ok(pos as u64);
+        };
+        if codec::crc32(payload) != crc {
+            return Ok(pos as u64);
+        }
+        pos += 8 + len;
+    }
+}
+
+/// Truncates `path` to its valid prefix, returning how many bytes were
+/// dropped. Used by recovery and by `logtool` repair flows.
+pub fn truncate_torn_tail(path: &Path) -> io::Result<u64> {
+    let valid = scan_valid_len(path)?;
+    let actual = fs::metadata(path)?.len();
+    if valid < actual {
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(valid)?;
+        file.sync_all()?;
+    }
+    Ok(actual - valid)
+}

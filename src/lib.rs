@@ -12,6 +12,7 @@ pub use caraoke_city as city;
 pub use caraoke_dsp as dsp;
 pub use caraoke_geom as geom;
 pub use caraoke_live as live;
+pub use caraoke_log as log;
 pub use caraoke_phy as phy;
 pub use caraoke_power as power;
 pub use caraoke_sim as sim;
