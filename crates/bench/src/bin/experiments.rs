@@ -6,7 +6,7 @@
 //! ```text
 //! experiments [all|fig4|fig8|fig11|fig12|fig13|fig14|fig15|fig16|
 //!              table-counting-prob|table-speed-bound|table-power|table-mac|
-//!              sfft|localize2|city|live]
+//!              sfft|localize2|city|live|serve]
 //!              [--quick]
 //! ```
 //!
@@ -207,6 +207,29 @@ fn main() {
             "{}",
             bench::format_rows(
                 "city-scale ingestion (ROADMAP north star: sharded multi-threaded caraoke-city pipeline; full sweep in `cargo bench --bench city_scale`)",
+                &rows
+            )
+        );
+    }
+
+    if run("serve") {
+        let cfg = if quick {
+            bench::query_scale::QueryScaleConfig {
+                n_poles: 200,
+                epochs: 50,
+                subscribers: 1_000,
+                ingest_workers: 2,
+                pollers: 4,
+                ..Default::default()
+            }
+        } else {
+            bench::query_scale::QueryScaleConfig::default()
+        };
+        let rows = bench::query_scale::query_scale_rows(&cfg);
+        println!(
+            "{}",
+            bench::format_rows(
+                "serving tier at scale (caraoke-serve: per-subscriber cursors over the sealed-pane stream, one evaluation per seal fanned out to every subscriber; full sweep in `cargo bench --bench query_scale`)",
                 &rows
             )
         );

@@ -12,6 +12,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod query_scale;
+
 use caraoke::counting::{counting_accuracy_monte_carlo, counting_accuracy_percent, probability};
 use caraoke::multipath::{
     circular_aperture, default_azimuth_grid, dominant_peak_ratio, measure_aperture,

@@ -1,0 +1,325 @@
+//! Serving-tier scale workload: many concurrent subscribers with
+//! per-subscriber cursors over a live hub, measured while ingest runs.
+//!
+//! The workload streams a synthetic city through the watermarked
+//! `caraoke-live` engine while `subscribers` in-process subscriptions —
+//! spread round-robin over a small set of distinct windowed queries — are
+//! polled by a pool of poller threads. Because every distinct query is
+//! computed **once per seal** and fanned out as shared [`PaneFrame`]s, the
+//! delivered-frame rate scales with the subscriber count while the
+//! evaluation rate stays pinned to the seal rate; the report separates the
+//! two (`computed_frames` vs `frames_delivered`).
+//!
+//! Staleness is seal-to-delivery: each frame carries the wall clock of the
+//! fan-out round that produced it, and every delivery records
+//! `sealed_at.elapsed()` into a log2 histogram, from which p50/p99 are
+//! extracted with geometric-midpoint bucket values.
+//!
+//! [`PaneFrame`]: caraoke_serve::PaneFrame
+
+use crate::Row;
+use caraoke_city::{FrameSource, SegmentId, SyntheticCity};
+use caraoke_live::{LiveCity, LiveConfig, LiveQuery, WindowSpec};
+use caraoke_serve::{ServeConfig, ServeEvent, ServeHub, ServeStats};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Log2 staleness histogram: bucket `b` covers `[2^b, 2^(b+1))` µs.
+const STALENESS_BUCKETS: usize = 40;
+
+/// Workload dimensions for [`query_scale`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryScaleConfig {
+    /// Poles in the synthetic city.
+    pub n_poles: usize,
+    /// Query epochs streamed per pole.
+    pub epochs: usize,
+    /// Concurrent in-process subscribers.
+    pub subscribers: usize,
+    /// Pole-striped ingest threads.
+    pub ingest_workers: usize,
+    /// Poller threads draining the subscribers.
+    pub pollers: usize,
+    /// Synthetic-city seed.
+    pub seed: u64,
+}
+
+impl Default for QueryScaleConfig {
+    fn default() -> Self {
+        Self {
+            n_poles: 1_000,
+            epochs: 250,
+            subscribers: 150_000,
+            ingest_workers: 4,
+            pollers: 8,
+            seed: 17,
+        }
+    }
+}
+
+/// What one [`query_scale`] run measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryScaleReport {
+    /// Concurrent subscribers the run sustained.
+    pub subscribers: usize,
+    /// Observations ingested.
+    pub observations: u64,
+    /// Panes sealed by the live engine.
+    pub sealed_panes: u64,
+    /// Ingest throughput while the serving tier ran, observations/s.
+    pub obs_per_sec: f64,
+    /// Frames delivered to subscribers per second (the query rate an
+    /// equivalent poll-per-subscriber deployment would have had to run).
+    pub queries_per_sec: f64,
+    /// Seal-to-delivery staleness, p50, µs.
+    pub staleness_p50_us: f64,
+    /// Seal-to-delivery staleness, p99, µs.
+    pub staleness_p99_us: f64,
+    /// Wall-clock of the whole run (ingest + drain), seconds.
+    pub elapsed_s: f64,
+    /// Final serving-tier counters.
+    pub stats: ServeStats,
+}
+
+/// The distinct windowed queries subscribers are spread over (window widths
+/// in multiples of the synthetic city's 1.5 s pane).
+pub fn scale_queries() -> Vec<LiveQuery> {
+    vec![
+        LiveQuery::Occupancy {
+            segment: SegmentId(0),
+            window: WindowSpec::tumbling(30_000_000),
+        },
+        LiveQuery::SpeedPercentile {
+            p: 50.0,
+            window: WindowSpec::tumbling(30_000_000),
+        },
+        LiveQuery::TopOd {
+            n: 5,
+            window: WindowSpec::tumbling(60_000_000),
+        },
+        LiveQuery::Watermark,
+    ]
+}
+
+fn percentile_us(hist: &[u64; STALENESS_BUCKETS], q: f64) -> f64 {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = (q / 100.0 * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (b, &n) in hist.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            // Geometric midpoint of [2^b, 2^(b+1)).
+            return 2f64.powi(b as i32) * std::f64::consts::SQRT_2;
+        }
+    }
+    2f64.powi(STALENESS_BUCKETS as i32)
+}
+
+/// Runs the serving-tier scale workload: `subscribers` concurrent cursors
+/// over [`scale_queries`], polled while ingest streams the synthetic city,
+/// then drained to the final head after `finish()`.
+pub fn query_scale(cfg: &QueryScaleConfig) -> QueryScaleReport {
+    let source = SyntheticCity::new(cfg.n_poles, cfg.epochs, cfg.seed);
+    let live = Arc::new(LiveCity::new(
+        source.directory().clone(),
+        LiveConfig::default(),
+    ));
+    // Nothing is dropped at scale: the workload measures sustained fan-out,
+    // not the lag policy (tests/serve_end_to_end.rs pins that).
+    let hub = ServeHub::over_live(
+        Arc::clone(&live),
+        None,
+        ServeConfig {
+            lag_notice_panes: u64::MAX,
+            max_cursor_lag_panes: u64::MAX,
+            ..Default::default()
+        },
+    );
+
+    let queries = scale_queries();
+    let mut subs: Vec<_> = (0..cfg.subscribers)
+        .map(|i| hub.subscribe(std::slice::from_ref(&queries[i % queries.len()]), false))
+        .collect();
+    assert_eq!(hub.stats().registered_queries, queries.len() as u64);
+
+    let ingest_done = AtomicBool::new(false);
+    // Set after finish(): the sealed-pane horizon pollers must see fanned
+    // out before they may stop draining.
+    let final_horizon = AtomicU64::new(u64::MAX);
+    let start = Instant::now();
+    let mut ingest_elapsed = Duration::ZERO;
+    let n_poles = source.directory().len() as u32;
+    let workers = cfg.ingest_workers.max(1) as u32;
+    let mut histograms: Vec<[u64; STALENESS_BUCKETS]> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut ingest_handles = Vec::new();
+        for w in 0..workers {
+            let live = &live;
+            let source = &source;
+            ingest_handles.push(scope.spawn(move || {
+                for epoch in 0..source.epochs() {
+                    for pole in (w..n_poles).step_by(workers as usize) {
+                        live.ingest(&source.report(pole, epoch));
+                    }
+                }
+            }));
+        }
+        let mut poller_handles = Vec::new();
+        let chunk = cfg.subscribers.div_ceil(cfg.pollers.max(1));
+        for slice in subs.chunks_mut(chunk.max(1)) {
+            let ingest_done = &ingest_done;
+            let final_horizon = &final_horizon;
+            let hub = &hub;
+            poller_handles.push(scope.spawn(move || {
+                let mut hist = [0u64; STALENESS_BUCKETS];
+                loop {
+                    let mut delivered = 0usize;
+                    for sub in slice.iter_mut() {
+                        for event in sub.poll() {
+                            if let ServeEvent::Frame { frame, .. } = event {
+                                delivered += 1;
+                                let us = frame.sealed_at.elapsed().as_micros().max(1) as u64;
+                                let bucket = (us.ilog2() as usize).min(STALENESS_BUCKETS - 1);
+                                hist[bucket] += 1;
+                            }
+                        }
+                    }
+                    if delivered == 0 {
+                        if ingest_done.load(Ordering::Acquire)
+                            && hub.head_horizon() >= final_horizon.load(Ordering::Acquire)
+                            && slice.iter().all(|s| s.caught_up())
+                        {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_micros(500));
+                    }
+                }
+                hist
+            }));
+        }
+        for handle in ingest_handles {
+            handle.join().expect("ingest worker");
+        }
+        // Seal everything left behind the watermark, then let the pollers
+        // drain to the final head.
+        live.finish();
+        ingest_elapsed = start.elapsed();
+        final_horizon.store(live.sealed_panes(), Ordering::Release);
+        ingest_done.store(true, Ordering::Release);
+        for handle in poller_handles {
+            histograms.push(handle.join().expect("poller"));
+        }
+    });
+    let elapsed = start.elapsed();
+
+    let mut hist = [0u64; STALENESS_BUCKETS];
+    for h in &histograms {
+        for (acc, n) in hist.iter_mut().zip(h.iter()) {
+            *acc += n;
+        }
+    }
+    let live_stats = live.stats();
+    let stats = hub.stats();
+    assert_eq!(live_stats.shed_reports, 0, "FIFO delivery must not shed");
+    assert_eq!(stats.dropped_subscribers, 0, "nothing may drop at scale");
+    assert_eq!(
+        stats.subscribers, cfg.subscribers as u64,
+        "every subscriber stays live to the end"
+    );
+    assert!(
+        stats.computed_frames <= stats.frames_delivered,
+        "fan-out must amortize evaluation: {stats:?}"
+    );
+
+    QueryScaleReport {
+        subscribers: cfg.subscribers,
+        observations: live_stats.observations,
+        sealed_panes: live_stats.sealed_panes,
+        obs_per_sec: live_stats.observations as f64 / ingest_elapsed.as_secs_f64(),
+        queries_per_sec: stats.frames_delivered as f64 / elapsed.as_secs_f64(),
+        staleness_p50_us: percentile_us(&hist, 50.0),
+        staleness_p99_us: percentile_us(&hist, 99.0),
+        elapsed_s: elapsed.as_secs_f64(),
+        stats,
+    }
+}
+
+/// [`query_scale`] rendered as printable rows for the `experiments` binary.
+pub fn query_scale_rows(cfg: &QueryScaleConfig) -> Vec<Row> {
+    let report = query_scale(cfg);
+    vec![
+        Row::new(
+            format!(
+                "{} subscribers / {} poles x {} epochs",
+                report.subscribers, cfg.n_poles, cfg.epochs
+            ),
+            vec![
+                ("observations", report.observations as f64),
+                ("obs_per_sec", report.obs_per_sec),
+                ("queries_per_sec", report.queries_per_sec),
+                ("staleness_p50_us", report.staleness_p50_us),
+                ("staleness_p99_us", report.staleness_p99_us),
+            ],
+        ),
+        Row::new(
+            "once-per-seal cache",
+            vec![
+                ("sealed_panes", report.sealed_panes as f64),
+                ("computed_frames", report.stats.computed_frames as f64),
+                ("frames_delivered", report.stats.frames_delivered as f64),
+                (
+                    "fanout_amortization_x",
+                    report.stats.frames_delivered as f64
+                        / (report.stats.computed_frames.max(1)) as f64,
+                ),
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_scale_sustains_many_subscribers() {
+        let report = query_scale(&QueryScaleConfig {
+            n_poles: 32,
+            epochs: 8,
+            subscribers: 500,
+            ingest_workers: 2,
+            pollers: 2,
+            seed: 3,
+        });
+        assert_eq!(report.subscribers, 500);
+        assert!(report.observations > 0);
+        assert!(report.queries_per_sec > 0.0);
+        assert!(
+            report.stats.frames_delivered >= 500,
+            "every subscriber received at least one frame: {:?}",
+            report.stats
+        );
+        assert!(
+            report.stats.computed_frames < report.stats.frames_delivered,
+            "amortized: {:?}",
+            report.stats
+        );
+    }
+
+    #[test]
+    fn staleness_percentiles_use_geometric_midpoints() {
+        let mut hist = [0u64; STALENESS_BUCKETS];
+        hist[10] = 99;
+        hist[20] = 1;
+        let p50 = percentile_us(&hist, 50.0);
+        assert!((p50 - 1024.0 * std::f64::consts::SQRT_2).abs() < 1e-6);
+        let p99 = percentile_us(&hist, 99.0);
+        assert!(p99 < 2048.0, "p99 still inside bucket 10: {p99}");
+        assert!(percentile_us(&hist, 100.0) > 1e6);
+        assert_eq!(percentile_us(&[0; STALENESS_BUCKETS], 50.0), 0.0);
+    }
+}

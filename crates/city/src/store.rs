@@ -623,6 +623,37 @@ impl TagTracker {
         }
     }
 
+    /// Evicts every tag whose last sighting is older than `cutoff_us`,
+    /// returning how many were removed. This is the compaction primitive
+    /// bounding long-lived-tag state: without it a tracker (and every
+    /// snapshot exported from it) grows with the distinct tags *ever*
+    /// seen, not the tags still active.
+    ///
+    /// When tracing is on, evictions land in the dirty set, so the next
+    /// [`take_delta`](Self::take_delta) carries them as removals and a
+    /// delta-by-delta replay converges to the same compacted state.
+    /// Aliases are kept: a reappearing signature still resolves to its
+    /// decoded key and simply starts fresh sighting state there, exactly
+    /// like a never-seen tag. Determinism note: drive `cutoff_us` from
+    /// event time (pane boundaries), never wall clock, or equal runs
+    /// diverge.
+    pub fn evict_idle(&mut self, cutoff_us: u64) -> u64 {
+        let before = self.tags.len();
+        if self.trace {
+            let dirty = &mut self.dirty_tags;
+            self.tags.retain(|&key, state| {
+                let keep = state.last_seen_us >= cutoff_us;
+                if !keep {
+                    dirty.insert(key);
+                }
+                keep
+            });
+        } else {
+            self.tags.retain(|_, state| state.last_seen_us >= cutoff_us);
+        }
+        (before - self.tags.len()) as u64
+    }
+
     /// Applies a delta produced by [`take_delta`](Self::take_delta) or
     /// [`export`](Self::export). Deltas must be applied in the order they
     /// were taken; stats are absolute, not cumulative. Replay does not mark
@@ -929,6 +960,38 @@ mod tests {
 
         // An empty pane drains to an empty delta.
         assert!(live.take_delta().upserts.is_empty());
+    }
+
+    #[test]
+    fn evict_idle_drops_stale_tags_and_traces_removals() {
+        let dir = line_directory(4, 30.0);
+        let config = StoreConfig::default();
+        let mut live = TagTracker::new();
+        live.set_trace(true);
+        let mut replica = TagTracker::new();
+
+        live.apply(&obs(7, 0, 0, 0), &dir, &config, |_| {});
+        live.apply(&obs(9, 1, 0, 10_000_000), &dir, &config, |_| {});
+        replica.apply_delta(&live.take_delta());
+        assert_eq!(live.distinct_tags(), 2);
+
+        // Tag 7 was last seen at t=0, tag 9 at t=10s: a 5 s cutoff evicts
+        // exactly the stale one, and the traced removal replays losslessly.
+        assert_eq!(live.evict_idle(5_000_000), 1);
+        assert_eq!(live.distinct_tags(), 1);
+        let delta = live.take_delta();
+        assert_eq!(delta.removals, vec![TagKey(7).0]);
+        replica.apply_delta(&delta);
+        assert_eq!(replica.export(), live.export());
+
+        // Nothing left under the cutoff: a second sweep is a no-op.
+        assert_eq!(live.evict_idle(5_000_000), 0);
+
+        // An untraced tracker evicts without touching dirty bookkeeping.
+        let mut plain = TagTracker::new();
+        plain.apply(&obs(3, 0, 0, 0), &dir, &config, |_| {});
+        assert_eq!(plain.evict_idle(1), 1);
+        assert_eq!(plain.distinct_tags(), 0);
     }
 
     #[test]

@@ -99,6 +99,20 @@ pub struct LiveConfig {
     /// depend on wall-clock timing, so runs that need byte-reproducible
     /// window chains should leave this off.
     pub max_pane_staleness: Option<Duration>,
+    /// Tracker compaction: evict tags idle for at least this long (event
+    /// time, µs) at the end of every
+    /// [`compact_every_panes`](Self::compact_every_panes)-th pane. Bounds
+    /// tracker (and therefore snapshot/replay/catch-up) state by the *active*
+    /// tag population instead of every tag ever seen. Evictions run before
+    /// the pane's delta is taken, so a delta-by-delta replay carries the
+    /// removals and converges to the same compacted state. Cutoffs derive
+    /// from pane boundaries, never wall clock, so compaction preserves
+    /// determinism. `None` (the default) never evicts.
+    pub compact_idle_us: Option<u64>,
+    /// How often (in panes) the idle-tag sweep runs when
+    /// [`compact_idle_us`](Self::compact_idle_us) is set. Sweeping every pane
+    /// would be O(tags) per pane; the default of 64 amortises it.
+    pub compact_every_panes: u64,
 }
 
 impl Default for LiveConfig {
@@ -110,6 +124,8 @@ impl Default for LiveConfig {
             retain_panes: 64,
             max_pending_per_worker: 1 << 20,
             max_pane_staleness: None,
+            compact_idle_us: None,
+            compact_every_panes: 64,
         }
     }
 }
@@ -162,6 +178,9 @@ pub struct LiveStats {
     /// stopped appending (liveness over durability); the log on disk is
     /// intact up to the failure point.
     pub log_errors: u64,
+    /// Tags evicted by idle-tag compaction
+    /// ([`LiveConfig::compact_idle_us`]), summed over shards.
+    pub compacted_tags: u64,
     /// Mid-stream decode alias counters, summed over shards (§8).
     pub alias: AliasStats,
 }
@@ -339,6 +358,7 @@ struct LiveCore {
     forced_pole_misses: AtomicU64,
     dead_poles: AtomicU64,
     log_errors: AtomicU64,
+    compacted_tags: AtomicU64,
     /// Durable pane log, if this engine was built with one.
     log: Option<Mutex<LogSink>>,
 }
@@ -495,6 +515,7 @@ impl LiveCity {
             forced_pole_misses: AtomicU64::new(forced_pole_misses),
             dead_poles: AtomicU64::new(dead_poles),
             log_errors: AtomicU64::new(0),
+            compacted_tags: AtomicU64::new(0),
             log: log.map(Mutex::new),
             directory,
             config,
@@ -689,6 +710,7 @@ impl LiveCity {
             worker_slots,
             dead_poles: core.dead_poles.load(Ordering::Relaxed),
             log_errors: core.log_errors.load(Ordering::Relaxed),
+            compacted_tags: core.compacted_tags.load(Ordering::Relaxed),
             alias,
         }
     }
@@ -1050,6 +1072,28 @@ impl LiveCore {
             if let Some(rows) = seg_panes.remove(&pane) {
                 for (seg, stats) in rows {
                     agg.segments.entry(seg).or_default().merge(&stats);
+                }
+            }
+            // Idle-tag compaction sweeps *before* the pane's delta is taken
+            // below, so traced evictions ride this pane's delta as removals
+            // and any snapshot exports the already-compacted state — replay
+            // equivalence holds with or without compaction. The cutoff is a
+            // pure function of the pane index, so equal runs compact
+            // identically.
+            if let Some(idle_us) = self.config.compact_idle_us {
+                let every = self.config.compact_every_panes.max(1);
+                if (pane + 1) % every == 0 {
+                    let cutoff = ((pane + 1) * pane_us).saturating_sub(idle_us);
+                    if cutoff > 0 {
+                        let evicted: u64 = state
+                            .trackers
+                            .iter_mut()
+                            .map(|t| t.evict_idle(cutoff))
+                            .sum();
+                        if evicted > 0 {
+                            self.compacted_tags.fetch_add(evicted, Ordering::Relaxed);
+                        }
+                    }
                 }
             }
             let pole_misses = if forced {
@@ -1488,6 +1532,106 @@ mod tests {
             .replay()
             .expect("verified replay");
         assert_eq!(replay.chain, ref_chain);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&ref_dir);
+    }
+
+    #[test]
+    fn idle_tag_compaction_bounds_tracker_state_and_replays_equal() {
+        let dir = scratch_dir("compact");
+        let mut config = tiny_config();
+        config.compact_idle_us = Some(2_000_000);
+        config.compact_every_panes = 2;
+        let live = LiveCity::with_log(directory(2), config, &dir, LogOptions::default())
+            .expect("logged engine");
+        // 20 one-shot tags at t=0 age out; two walkers stay resident.
+        live.ingest(&report(
+            0,
+            0,
+            0,
+            (0..20).map(|i| obs(100 + i, 0, 0, 0)).collect(),
+        ));
+        for epoch in 0..8u64 {
+            let t = epoch * 1_000_000;
+            live.ingest(&report(0, 0, t, vec![obs(7, 0, 0, t)]));
+            live.ingest(&report(1, 0, t, vec![obs(8, 1, 0, t)]));
+        }
+        live.finish();
+        assert_eq!(
+            live.stats().compacted_tags,
+            20,
+            "every one-shot tag evicted, both walkers kept"
+        );
+        let chain = live.fingerprint_chain();
+        let totals = live.totals();
+        drop(live);
+        // The compacted log still verifies and replays byte-identical…
+        let replay = caraoke_log::LogCity::open(&dir)
+            .replay()
+            .expect("verified replay");
+        assert_eq!(replay.chain, chain);
+        assert_eq!(replay.totals, totals);
+        // …and a delta-by-delta rebuild lands on the *compacted* tracker
+        // state: evictions rode the pane deltas as removals.
+        let state =
+            recover_state(&dir, config.store.shards, config.retain_panes).expect("recover state");
+        let tracked: usize = state.trackers.iter().map(TagTracker::distinct_tags).sum();
+        assert_eq!(tracked, 2, "replayed state is the compacted state");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_with_compaction_matches_uninterrupted_run() {
+        let mut config = tiny_config();
+        config.compact_idle_us = Some(1_500_000);
+        config.compact_every_panes = 2;
+        let deliver = |live: &LiveCity, from_us: u64| {
+            for epoch in 0..8u64 {
+                let t = epoch * 1_000_000;
+                if t < from_us {
+                    continue;
+                }
+                // A fresh one-shot tag per epoch keeps the sweeps busy; the
+                // walkers stay resident across every cutoff.
+                live.ingest(&report(
+                    0,
+                    0,
+                    t,
+                    vec![obs(7, 0, 0, t), obs(200 + epoch, 0, 0, t)],
+                ));
+                live.ingest(&report(1, 0, t, vec![obs(8, 1, 0, t)]));
+            }
+        };
+        let ref_dir = scratch_dir("compact-ref");
+        let reference = LiveCity::with_log(directory(2), config, &ref_dir, LogOptions::default())
+            .expect("reference engine");
+        deliver(&reference, 0);
+        reference.finish();
+        let ref_chain = reference.fingerprint_chain();
+        let ref_totals = reference.totals();
+        assert!(
+            reference.stats().compacted_tags > 0,
+            "compaction actually ran"
+        );
+        drop(reference);
+
+        // Crash mid-run, recover, re-feed from the seal floor: compaction
+        // cutoffs are pane-deterministic, so the stitched run converges to
+        // the uninterrupted chain.
+        let dir = scratch_dir("compact-crash");
+        let crashed = LiveCity::with_log(directory(2), config, &dir, LogOptions::default())
+            .expect("crashed engine");
+        deliver(&crashed, 0);
+        drop(crashed);
+        let recovered = LiveCity::recover(&dir, directory(2), config, LogOptions::default())
+            .expect("recover from pane log");
+        let floor_us = recovered.stats().seal_floor_us;
+        assert!(floor_us > 0, "the crashed run sealed at least one pane");
+        deliver(&recovered, floor_us);
+        recovered.finish();
+        assert_eq!(recovered.fingerprint_chain(), ref_chain);
+        assert_eq!(recovered.totals(), ref_totals);
+        drop(recovered);
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_dir_all(&ref_dir);
     }

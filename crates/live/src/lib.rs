@@ -103,6 +103,8 @@ pub mod window;
 
 pub use driver::{Interleaving, LiveDriver, LiveRun};
 pub use engine::{IngestOutcome, LiveCity, LiveConfig, LiveStats};
-pub use query::{LiveAnswer, LiveQuery, LiveSnapshot, LiveSubscription, PaneSummary};
+pub use query::{
+    answer_windowed, LiveAnswer, LiveQuery, LiveSnapshot, LiveSubscription, PaneSummary,
+};
 pub use watermark::WatermarkClock;
 pub use window::{WindowAggregate, WindowRing, WindowSpec};

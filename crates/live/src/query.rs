@@ -7,8 +7,8 @@
 //! buffered above it.
 
 use crate::engine::{LiveCity, LiveStats};
-use crate::window::{WindowAggregate, WindowSpec};
-use caraoke_city::SegmentId;
+use crate::window::{WindowAggregate, WindowRing, WindowSpec};
+use caraoke_city::{CityAggregates, SegmentId};
 use std::time::Duration;
 
 /// A point-in-time question against the live engine.
@@ -120,76 +120,138 @@ impl LiveCity {
     /// aggregate what is retained; [`LiveCity::snapshot`] exposes the
     /// retention so callers can size windows to fit.
     pub fn query(&self, query: &LiveQuery) -> LiveAnswer {
-        match *query {
-            LiveQuery::Occupancy { segment, window } => self.with_sealed(|ring, _, _| {
-                let agg = ring.window(window, self.config().pane_us);
-                match agg.segments.get(&segment.0) {
-                    Some(stats) => LiveAnswer::Occupancy {
-                        mean: stats.mean_occupancy(),
-                        peak: stats.peak_count,
-                        reports: stats.reports,
-                    },
-                    None => LiveAnswer::Occupancy {
-                        mean: 0.0,
-                        peak: 0,
-                        reports: 0,
-                    },
-                }
-            }),
-            LiveQuery::Flow {
-                segment,
-                last_cycles,
-            } => self.with_sealed(|_, total, _| {
-                // Cycles are event-time buckets; "last k" counts back from
-                // the cycle the watermark is in.
-                let cycle_us = self.config().store.light_cycle_us;
-                let now_cycle = (self.watermark_us() / cycle_us) as u32;
-                let first = now_cycle.saturating_sub(last_cycles.saturating_sub(1));
-                let sum: u64 = total
-                    .flow
-                    .per_cycle
-                    .range((segment.0, first)..=(segment.0, now_cycle))
-                    .map(|(_, &v)| v)
-                    .sum();
-                let span = (now_cycle - first + 1) as f64;
-                LiveAnswer::Flow {
-                    total: sum,
-                    mean_per_cycle: sum as f64 / span,
-                }
-            }),
-            LiveQuery::SpeedPercentile { p, window } => self.with_sealed(|ring, _, _| {
-                let agg = ring.window(window, self.config().pane_us);
-                LiveAnswer::Speed {
-                    mph: agg.speeds.percentile_mph(p),
-                    samples: agg.speeds.samples(),
-                }
-            }),
-            LiveQuery::TopOd { n, window } => self.with_sealed(|ring, _, _| {
-                let agg = ring.window(window, self.config().pane_us);
-                LiveAnswer::TopOd {
-                    pairs: agg.od.top(n),
-                }
-            }),
-            LiveQuery::PositionAccuracy { window } => self.with_sealed(|ring, _, _| {
-                let agg = ring.window(window, self.config().pane_us);
-                let p = &agg.positions;
-                LiveAnswer::PositionAccuracy {
-                    two_reader_fixes: p.two_reader_fixes,
-                    aoa_only_fixes: p.aoa_only_fixes,
-                    pole_fallbacks: p.pole_fallbacks,
-                    localized_fraction: p.localized_fraction(),
-                    mean_sigma_m: p.mean_sigma_m(),
-                    track_speed_samples: p.track_speed_samples,
-                    arrival_speed_samples: p.arrival_speed_samples,
-                }
-            }),
-            LiveQuery::Watermark => LiveAnswer::Watermark {
-                watermark_us: self.watermark_us(),
-                sealed_panes: self.sealed_panes(),
-            },
-        }
+        self.with_sealed(|ring, total, next_pane| self.answer_sealed(query, ring, total, next_pane))
     }
 
+    /// Answers a whole batch of queries under **one** acquisition of the
+    /// sealed state, returning the pane horizon (`next_pane`, the first
+    /// still-unsealed pane) every answer was computed at.
+    ///
+    /// This is the serving tier's per-seal hook: a fan-out layer registers
+    /// each distinct query once, calls `query_sealed` when a seal lands, and
+    /// distributes the shared answers — every subscriber of the same query
+    /// sees the identical (byte-identical, the answers come from the same
+    /// code path as [`query`](Self::query)) result for the same pane.
+    pub fn query_sealed(&self, queries: &[LiveQuery]) -> (u64, Vec<LiveAnswer>) {
+        self.with_sealed(|ring, total, next_pane| {
+            let answers = queries
+                .iter()
+                .map(|q| self.answer_sealed(q, ring, total, next_pane))
+                .collect();
+            (next_pane, answers)
+        })
+    }
+
+    /// Answers one query from an already-acquired view of sealed state.
+    /// `next_pane` stands in for the sealed-pane count — re-locking through
+    /// [`sealed_panes`](Self::sealed_panes) here would self-deadlock.
+    fn answer_sealed(
+        &self,
+        query: &LiveQuery,
+        ring: &WindowRing<CityAggregates>,
+        total: &CityAggregates,
+        next_pane: u64,
+    ) -> LiveAnswer {
+        answer_windowed(
+            query,
+            ring,
+            total,
+            next_pane,
+            self.watermark_us(),
+            self.config().pane_us,
+            self.config().store.light_cycle_us,
+        )
+    }
+}
+
+/// Answers one [`LiveQuery`] from an explicit view of windowed state:
+/// a pane ring, running totals, the pane horizon (`next_pane`, first
+/// unsealed pane) and the event-time watermark.
+///
+/// This is the *single* evaluation code path: [`LiveCity::query`] and
+/// [`LiveCity::query_sealed`] both route through it, and so does any layer
+/// that reconstructs ring state from the durable pane log (the serving
+/// tier's lagging-cursor catch-up). One code path is what makes a served
+/// answer byte-identical to the in-process answer for the same pane.
+pub fn answer_windowed(
+    query: &LiveQuery,
+    ring: &WindowRing<CityAggregates>,
+    total: &CityAggregates,
+    next_pane: u64,
+    watermark_us: u64,
+    pane_us: u64,
+    cycle_us: u64,
+) -> LiveAnswer {
+    match *query {
+        LiveQuery::Occupancy { segment, window } => {
+            let agg = ring.window(window, pane_us);
+            match agg.segments.get(&segment.0) {
+                Some(stats) => LiveAnswer::Occupancy {
+                    mean: stats.mean_occupancy(),
+                    peak: stats.peak_count,
+                    reports: stats.reports,
+                },
+                None => LiveAnswer::Occupancy {
+                    mean: 0.0,
+                    peak: 0,
+                    reports: 0,
+                },
+            }
+        }
+        LiveQuery::Flow {
+            segment,
+            last_cycles,
+        } => {
+            // Cycles are event-time buckets; "last k" counts back from
+            // the cycle the watermark is in.
+            let now_cycle = (watermark_us / cycle_us) as u32;
+            let first = now_cycle.saturating_sub(last_cycles.saturating_sub(1));
+            let sum: u64 = total
+                .flow
+                .per_cycle
+                .range((segment.0, first)..=(segment.0, now_cycle))
+                .map(|(_, &v)| v)
+                .sum();
+            let span = (now_cycle - first + 1) as f64;
+            LiveAnswer::Flow {
+                total: sum,
+                mean_per_cycle: sum as f64 / span,
+            }
+        }
+        LiveQuery::SpeedPercentile { p, window } => {
+            let agg = ring.window(window, pane_us);
+            LiveAnswer::Speed {
+                mph: agg.speeds.percentile_mph(p),
+                samples: agg.speeds.samples(),
+            }
+        }
+        LiveQuery::TopOd { n, window } => {
+            let agg = ring.window(window, pane_us);
+            LiveAnswer::TopOd {
+                pairs: agg.od.top(n),
+            }
+        }
+        LiveQuery::PositionAccuracy { window } => {
+            let agg = ring.window(window, pane_us);
+            let p = &agg.positions;
+            LiveAnswer::PositionAccuracy {
+                two_reader_fixes: p.two_reader_fixes,
+                aoa_only_fixes: p.aoa_only_fixes,
+                pole_fallbacks: p.pole_fallbacks,
+                localized_fraction: p.localized_fraction(),
+                mean_sigma_m: p.mean_sigma_m(),
+                track_speed_samples: p.track_speed_samples,
+                arrival_speed_samples: p.arrival_speed_samples,
+            }
+        }
+        LiveQuery::Watermark => LiveAnswer::Watermark {
+            watermark_us,
+            sealed_panes: next_pane,
+        },
+    }
+}
+
+impl LiveCity {
     /// A cheap, pollable snapshot: telemetry plus summaries of the most
     /// recent `last` sealed panes. The dashboard's poll target.
     pub fn snapshot(&self, last: usize) -> LiveSnapshot {
@@ -556,6 +618,37 @@ mod tests {
                 );
             }
             other => panic!("unexpected answer {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_sealed_batches_match_individual_queries() {
+        let live = walk_city();
+        let queries = [
+            LiveQuery::Occupancy {
+                segment: SegmentId(0),
+                window: WindowSpec::tumbling(4_000_000),
+            },
+            LiveQuery::SpeedPercentile {
+                p: 50.0,
+                window: WindowSpec::sliding(4_000_000, 1_000_000),
+            },
+            LiveQuery::TopOd {
+                n: 5,
+                window: WindowSpec::tumbling(4_000_000),
+            },
+            LiveQuery::Flow {
+                segment: SegmentId(0),
+                last_cycles: 1,
+            },
+            LiveQuery::Watermark,
+        ];
+        let (horizon, answers) = live.query_sealed(&queries);
+        assert_eq!(horizon, 4, "four panes sealed");
+        assert_eq!(answers.len(), queries.len());
+        // One lock acquisition or many: the answers are identical.
+        for (q, a) in queries.iter().zip(&answers) {
+            assert_eq!(&live.query(q), a, "{q:?}");
         }
     }
 

@@ -177,13 +177,30 @@ impl LogReader {
     /// A verifying cursor that still reads (and verifies) the whole log
     /// but only yields snapshots, dead-pole markers, and panes at or after
     /// `pane` — the "resume a dashboard from pane N" entry point.
+    ///
+    /// Decoding borrows each payload in place from the loaded segment
+    /// buffer (the zero-copy path); [`records_copying`](Self::records_copying)
+    /// is the per-payload-copy fallback.
     pub fn records_from(&self, pane: u64) -> RecordCursor {
+        self.cursor(pane, false)
+    }
+
+    /// Like [`records`](Self::records), but each payload is copied out of
+    /// the segment buffer before decoding — the original reader path, kept
+    /// as a fallback and as the equivalence oracle for the zero-copy
+    /// borrow path (the two must yield identical record sequences).
+    pub fn records_copying(&self) -> RecordCursor {
+        self.cursor(0, true)
+    }
+
+    fn cursor(&self, pane: u64, copy_payloads: bool) -> RecordCursor {
         RecordCursor {
             dir: self.dir.clone(),
             segments: self.segments.clone(),
             next_segment: 0,
             current: None,
             min_pane: pane,
+            copy_payloads,
             chain: Fingerprint::new(),
             expected_pane: None,
             torn_tail_bytes: 0,
@@ -209,6 +226,10 @@ pub struct RecordCursor {
     next_segment: usize,
     current: Option<SegmentBuf>,
     min_pane: u64,
+    /// Copy each payload out of the segment buffer before decoding instead
+    /// of borrowing it in place (the pre-zero-copy behaviour, kept as a
+    /// fallback; see [`LogReader::records_copying`]).
+    copy_payloads: bool,
     chain: Fingerprint,
     expected_pane: Option<u64>,
     torn_tail_bytes: u64,
@@ -250,9 +271,18 @@ impl RecordCursor {
         Ok(true)
     }
 
-    /// Pulls the next raw payload, handling segment advance and torn-tail
+    /// Advances to the next CRC-checked payload and returns its span —
+    /// `(frame offset, payload start, payload len)` into the *currently
+    /// loaded* segment buffer — handling segment advance and torn-tail
     /// classification. `Ok(None)` is clean end of log.
-    fn next_payload(&mut self) -> Result<Option<(String, u64, Vec<u8>)>, LogError> {
+    ///
+    /// This is the zero-copy core: the caller decodes straight from the
+    /// borrowed segment bytes. (mmap is off the table under
+    /// `forbid(unsafe_code)`; a buffered borrow of the already-loaded
+    /// segment gets the same effect — no per-record allocation or copy.)
+    /// The span stays valid until the next call, which is the only place
+    /// the buffer can be unloaded.
+    fn next_payload_span(&mut self) -> Result<Option<(u64, usize, usize)>, LogError> {
         loop {
             if self.current.is_none() && !self.load_next_segment()? {
                 return Ok(None);
@@ -266,14 +296,14 @@ impl RecordCursor {
             let offset = seg.pos as u64;
             let is_last = self.next_segment == self.segments.len();
             let frame = seg.bytes.get(seg.pos..seg.pos + 8);
-            let body = frame.and_then(|f| {
+            let span = frame.and_then(|f| {
                 let len = u32::from_le_bytes(f[..4].try_into().unwrap()) as usize;
                 let crc = u32::from_le_bytes(f[4..8].try_into().unwrap());
                 seg.bytes
                     .get(seg.pos + 8..seg.pos + 8 + len)
-                    .map(|payload| (crc, payload.to_vec()))
+                    .map(|_| (crc, len))
             });
-            let Some((crc, payload)) = body else {
+            let Some((crc, len)) = span else {
                 // Incomplete frame: a crash artifact if this is the tail of
                 // the final segment, corruption anywhere else.
                 if is_last {
@@ -286,15 +316,34 @@ impl RecordCursor {
                     offset,
                 });
             };
-            if codec::crc32(&payload) != crc {
+            let start = seg.pos + 8;
+            if codec::crc32(&seg.bytes[start..start + len]) != crc {
                 return Err(LogError::Crc {
                     segment: seg.name.clone(),
                     offset,
                 });
             }
-            seg.pos += 8 + payload.len();
-            return Ok(Some((seg.name.clone(), offset, payload)));
+            seg.pos = start + len;
+            return Ok(Some((offset, start, len)));
         }
+    }
+
+    /// The copying fallback: same traversal as
+    /// [`next_payload_span`](Self::next_payload_span), but the payload is
+    /// copied out so nothing borrows the segment buffer.
+    fn next_payload(&mut self) -> Result<Option<(String, u64, Vec<u8>)>, LogError> {
+        let Some((offset, start, len)) = self.next_payload_span()? else {
+            return Ok(None);
+        };
+        let seg = self
+            .current
+            .as_ref()
+            .expect("span points into loaded segment");
+        Ok(Some((
+            seg.name.clone(),
+            offset,
+            seg.bytes[start..start + len].to_vec(),
+        )))
     }
 
     fn verify(&mut self, record: &LogRecord) -> Result<(), LogError> {
@@ -343,14 +392,33 @@ impl RecordCursor {
 
     fn step(&mut self) -> Result<Option<LogRecord>, LogError> {
         loop {
-            let Some((segment, offset, payload)) = self.next_payload()? else {
-                return Ok(None);
+            let record = if self.copy_payloads {
+                let Some((segment, offset, payload)) = self.next_payload()? else {
+                    return Ok(None);
+                };
+                codec::decode_record(&payload).map_err(|what| LogError::Decode {
+                    segment,
+                    offset,
+                    what,
+                })?
+            } else {
+                // Zero-copy: decode straight from the loaded segment's
+                // bytes; the name is only cloned on the error path.
+                let Some((offset, start, len)) = self.next_payload_span()? else {
+                    return Ok(None);
+                };
+                let seg = self
+                    .current
+                    .as_ref()
+                    .expect("span points into loaded segment");
+                codec::decode_record(&seg.bytes[start..start + len]).map_err(|what| {
+                    LogError::Decode {
+                        segment: seg.name.clone(),
+                        offset,
+                        what,
+                    }
+                })?
             };
-            let record = codec::decode_record(&payload).map_err(|what| LogError::Decode {
-                segment,
-                offset,
-                what,
-            })?;
             self.verify(&record)?;
             match &record {
                 LogRecord::Pane(p) if p.pane < self.min_pane => continue,

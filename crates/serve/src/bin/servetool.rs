@@ -1,0 +1,262 @@
+//! Operator tooling for the caraoke serving tier.
+//!
+//! ```text
+//! servetool tail     <host:port> [n]   # subscribe to a running ServeServer,
+//!                                      # pretty-print n frames (default 10)
+//! servetool tail-log <log-dir>   [n]   # serve a finished run's pane log over
+//!                                      # a loopback server and tail it
+//! ```
+//!
+//! Both commands subscribe the standard probe set — watermark, 30 s
+//! occupancy on segment 0, p50 speed over 30 s, top-5 OD pairs over 60 s —
+//! and print one line per received frame with its pane, staleness, and
+//! decoded answer.
+//!
+//! `tail-log` assumes the log was written at the default pane width
+//! (1.5 s) and light-cycle length (60 s); it exercises the full stack —
+//! log replay, hub, wire protocol, TCP loopback — which is exactly why CI
+//! runs it against the benchmark's log artifact.
+
+use caraoke_live::{LiveAnswer, LiveQuery, WindowSpec};
+use caraoke_serve::{decode_answer, Frame, ServeClient, ServeConfig, ServeHub, ServeServer};
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// Default pane width the pane-log benches write at, µs.
+const DEFAULT_PANE_US: u64 = 1_500_000;
+/// Default traffic-light cycle, µs.
+const DEFAULT_CYCLE_US: u64 = 60_000_000;
+/// Window retention to rebuild for tail-log serving.
+const DEFAULT_RETAIN_PANES: usize = 64;
+/// How long to wait for further frames before concluding the stream is
+/// idle and exiting.
+const QUIET: Duration = Duration::from_millis(600);
+
+fn usage() -> ExitCode {
+    eprintln!("usage: servetool <tail <host:port> | tail-log <log-dir>> [n]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, target) = match (args.first(), args.get(1)) {
+        (Some(c), Some(t)) => (c.as_str(), t.as_str()),
+        _ => return usage(),
+    };
+    let n = args
+        .get(2)
+        .map(|s| s.parse::<usize>().unwrap_or(10))
+        .unwrap_or(10);
+    match cmd {
+        "tail" => tail(target, n),
+        "tail-log" => tail_log(target, n),
+        _ => usage(),
+    }
+}
+
+/// The probe queries both commands subscribe.
+fn probe_queries() -> Vec<(u32, &'static str, LiveQuery)> {
+    vec![
+        (1, "watermark", LiveQuery::Watermark),
+        (
+            2,
+            "occupancy(seg 0, 30s)",
+            LiveQuery::Occupancy {
+                segment: caraoke_city::SegmentId(0),
+                window: WindowSpec::tumbling(30_000_000),
+            },
+        ),
+        (
+            3,
+            "p50 speed (30s)",
+            LiveQuery::SpeedPercentile {
+                p: 50.0,
+                window: WindowSpec::tumbling(30_000_000),
+            },
+        ),
+        (
+            4,
+            "top-5 OD (60s)",
+            LiveQuery::TopOd {
+                n: 5,
+                window: WindowSpec::tumbling(60_000_000),
+            },
+        ),
+    ]
+}
+
+fn render(answer: &LiveAnswer) -> String {
+    match answer {
+        LiveAnswer::Occupancy {
+            mean,
+            peak,
+            reports,
+        } => format!("occupancy mean {mean:.3} peak {peak} over {reports} reports"),
+        LiveAnswer::Flow {
+            total,
+            mean_per_cycle,
+        } => format!("flow {total} ({mean_per_cycle:.2}/cycle)"),
+        LiveAnswer::Speed { mph, samples } => {
+            format!("speed {mph:.1} mph ({samples} samples)")
+        }
+        LiveAnswer::TopOd { pairs } => {
+            let rendered: Vec<String> = pairs
+                .iter()
+                .map(|((from, to), count)| format!("{from}->{to}:{count}"))
+                .collect();
+            format!("top-od [{}]", rendered.join(" "))
+        }
+        LiveAnswer::PositionAccuracy {
+            localized_fraction,
+            mean_sigma_m,
+            ..
+        } => format!(
+            "localized {:.1}% sigma {mean_sigma_m:.2}m",
+            localized_fraction * 100.0
+        ),
+        LiveAnswer::Watermark {
+            watermark_us,
+            sealed_panes,
+        } => format!("watermark {watermark_us}us, {sealed_panes} panes sealed"),
+    }
+}
+
+/// Tails a running server at `addr`, printing up to `n` frames.
+fn tail(addr: &str, n: usize) -> ExitCode {
+    let mut client = match ServeClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("servetool: connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match drive(&mut client, n, false) {
+        Ok(printed) => {
+            println!("{printed} frame(s)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("servetool: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Serves `dir`'s pane log over a loopback server and tails it from the
+/// start, printing the last `n` catch-up frames.
+fn tail_log(dir: &str, n: usize) -> ExitCode {
+    let config = ServeConfig {
+        // A from-start tail is maximal lag by design: disable the drop
+        // policy for this operator view.
+        max_cursor_lag_panes: u64::MAX,
+        lag_notice_panes: u64::MAX,
+        ..Default::default()
+    };
+    let hub = match ServeHub::over_log(
+        dir,
+        DEFAULT_RETAIN_PANES,
+        DEFAULT_PANE_US,
+        DEFAULT_CYCLE_US,
+        config,
+    ) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("servetool: open log {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match ServeServer::bind(hub, "127.0.0.1:0") {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("servetool: bind loopback: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = match ServeClient::connect(server.local_addr()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("servetool: connect loopback: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match drive(&mut client, n, true) {
+        Ok(printed) => {
+            println!("{printed} frame(s) from {dir}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("servetool: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Subscribes the probe set and prints frames until `n` have been printed
+/// or the stream goes quiet. Returns the number printed.
+fn drive(client: &mut ServeClient, n: usize, from_start: bool) -> std::io::Result<usize> {
+    let probes = probe_queries();
+    for (sub_id, _, query) in &probes {
+        client.subscribe(*sub_id, query, from_start)?;
+    }
+    let name_of = |sub_id: u32| {
+        probes
+            .iter()
+            .find(|(id, _, _)| *id == sub_id)
+            .map(|(_, name, _)| *name)
+            .unwrap_or("?")
+    };
+    let mut printed = 0usize;
+    // From-start tails replay history: keep only the last n lines. A live
+    // tail prints as frames arrive.
+    let mut window: std::collections::VecDeque<String> = std::collections::VecDeque::new();
+    while printed < n || from_start {
+        match client.next_frame(QUIET)? {
+            Some(Frame::Snapshot {
+                sub_id,
+                pane,
+                age_us,
+                answer,
+            })
+            | Some(Frame::Delta {
+                sub_id,
+                pane,
+                age_us,
+                answer,
+            }) => {
+                let rendered = match decode_answer(&answer) {
+                    Ok(a) => render(&a),
+                    Err(e) => format!("undecodable answer: {e}"),
+                };
+                let line = format!(
+                    "pane {pane}  {}  {rendered}  (+{age_us}us)",
+                    name_of(sub_id)
+                );
+                if from_start {
+                    if window.len() == n.max(1) {
+                        window.pop_front();
+                    }
+                    window.push_back(line);
+                } else {
+                    println!("{line}");
+                    printed += 1;
+                }
+            }
+            Some(Frame::LagNotice { behind_panes }) => {
+                println!("lag notice: {behind_panes} panes behind");
+            }
+            Some(Frame::Dropped { behind_panes }) => {
+                println!("dropped at {behind_panes} panes behind");
+                break;
+            }
+            Some(_) => {}
+            None => break, // quiet or closed: done
+        }
+    }
+    if from_start {
+        for line in &window {
+            println!("{line}");
+        }
+        printed = window.len();
+    }
+    Ok(printed)
+}

@@ -1,0 +1,822 @@
+//! The serving hub: per-subscriber cursors over the sealed-pane stream,
+//! with a **once-per-seal snapshot cache** fanned out to every subscriber
+//! of the same query.
+//!
+//! # Design
+//!
+//! Two invariants drive the shape of this module:
+//!
+//! 1. **A slow dashboard must never block the sealer.** Subscribers hold
+//!    *cursors* — plain pane indices — into per-query frame rings the hub
+//!    maintains. Delivery is pull: a subscriber that stops polling stops
+//!    consuming, and the only thing that grows is the distance between its
+//!    cursor and the head. Nothing a subscriber does (or fails to do) is on
+//!    the ingest or seal path.
+//! 2. **Each distinct query is computed once per seal, however many
+//!    subscribers hold it.** Queries are registered under their canonical
+//!    wire encoding ([`crate::wire::encode_query`]) as the cache key; a
+//!    single fan-out thread wakes on every pane seal
+//!    ([`LiveSubscription::wait_next`]), evaluates *all* registered queries
+//!    under one acquisition of the sealed state
+//!    ([`LiveCity::query_sealed`]), and pushes one immutable
+//!    [`PaneFrame`] — answer, wire bytes, seal wall-clock — into each
+//!    query's ring. Ten thousand subscribers of the same occupancy window
+//!    cost one evaluation and ten thousand `Arc` clones.
+//!
+//! Cursors near the head are **cache hits**: they clone ready-made frames.
+//! A cursor that lags past the frame ring's retention falls back to the
+//! **durable pane log** ([`crate::eval::LogFollower`]) and rebuilds the
+//! missed answers pane by pane — slower, bounded per poll, but it never
+//! touches the live engine's sealed state. A cursor with no log to fall
+//! back to reports the gap as `missed_frames` and jumps forward.
+//!
+//! Laggards are policed, not trusted: when a subscriber's worst cursor lag
+//! crosses [`ServeConfig::lag_notice_panes`] it receives a
+//! [`ServeEvent::LagNotice`]; past [`ServeConfig::max_cursor_lag_panes`] it
+//! is dropped ([`ServeEvent::Dropped`]) and its resources released. Every
+//! decision shows up in [`ServeStats`].
+//!
+//! [`LiveCity::query_sealed`]: caraoke_live::LiveCity::query_sealed
+//! [`LiveSubscription::wait_next`]: caraoke_live::LiveSubscription::wait_next
+
+use crate::eval::LogFollower;
+use crate::wire::{encode_answer, encode_query};
+use caraoke_city::CityAggregates;
+use caraoke_live::{
+    answer_windowed, LiveAnswer, LiveCity, LiveQuery, LiveSubscription, WindowRing,
+};
+use caraoke_log::LogError;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the serving hub and its transports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Frames retained per query ring; cursors further behind than this
+    /// fall back to the pane log (or miss).
+    pub retain_frames: usize,
+    /// Cursor lag (panes behind the head) at which a subscriber gets a
+    /// [`ServeEvent::LagNotice`].
+    pub lag_notice_panes: u64,
+    /// Cursor lag at which a subscriber is dropped.
+    pub max_cursor_lag_panes: u64,
+    /// Catch-up frames rebuilt from the log per poll (bounds how long one
+    /// poll can spend replaying).
+    pub catchup_batch: usize,
+    /// How long the fan-out thread sleeps per wait when no pane seals (it
+    /// re-checks shutdown at this cadence).
+    pub fanout_wait: Duration,
+    /// TCP flow control: frames the server may have in flight beyond the
+    /// client's last ack before it pauses delivery (and the lag policy
+    /// takes over).
+    pub ack_window: u32,
+    /// TCP write timeout; a peer stalled longer than this errors the
+    /// connection.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            retain_frames: 64,
+            lag_notice_panes: 32,
+            max_cursor_lag_panes: 256,
+            catchup_batch: 64,
+            fanout_wait: Duration::from_millis(200),
+            ack_window: 256,
+            write_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Serving-tier telemetry. All counters are cumulative over the hub's
+/// lifetime except `subscribers`, a gauge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Distinct queries registered (cache keys).
+    pub registered_queries: u64,
+    /// Live subscribers right now.
+    pub subscribers: u64,
+    /// Seal-driven fan-out rounds that produced frames.
+    pub seal_batches: u64,
+    /// Frames computed (once per distinct query per fan-out round, plus
+    /// one initial frame per query registration).
+    pub computed_frames: u64,
+    /// Frames delivered straight from a query ring — the cache hits.
+    pub cache_hit_frames: u64,
+    /// Frames rebuilt from the pane log for lagging cursors.
+    pub catchup_frames: u64,
+    /// Panes a lagging cursor skipped because no log was available.
+    pub missed_frames: u64,
+    /// Lag notices issued.
+    pub lag_notices: u64,
+    /// Subscribers dropped for exceeding the cursor-lag bound.
+    pub dropped_subscribers: u64,
+    /// Total frames handed to subscribers (cache hits + catch-ups).
+    pub frames_delivered: u64,
+}
+
+/// How a frame relates to the stream it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A full answer at a pane (initial frames, log catch-up frames).
+    Snapshot,
+    /// A head advance produced by a seal-driven fan-out round.
+    Delta,
+}
+
+/// One immutable cached answer: computed once, shared by `Arc` with every
+/// subscriber of the query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaneFrame {
+    /// Newest sealed pane the answer covers.
+    pub pane: u64,
+    /// Snapshot or delta.
+    pub kind: FrameKind,
+    /// The decoded answer (in-process consumers use this directly).
+    pub answer: LiveAnswer,
+    /// The canonical wire encoding of `answer` — what TCP transports send,
+    /// encoded once at fan-out time.
+    pub wire: Vec<u8>,
+    /// Wall clock at the fan-out round that produced the frame; staleness
+    /// at delivery is `sealed_at.elapsed()`.
+    pub sealed_at: Instant,
+}
+
+/// One registered query: the shared frame ring all its subscribers read.
+#[derive(Debug)]
+struct QueryChannel {
+    query: LiveQuery,
+    /// Canonical query encoding — the cache key.
+    key: Vec<u8>,
+    /// Pane horizon of the newest frame (`frame.pane + 1`); 0 until the
+    /// first frame. Atomic so subscriber fast-path polls stay lock-free.
+    head: AtomicU64,
+    frames: Mutex<VecDeque<Arc<PaneFrame>>>,
+}
+
+impl QueryChannel {
+    /// Appends a frame (idempotent per pane) and trims retention.
+    fn push_frame(&self, frame: Arc<PaneFrame>, retain: usize) {
+        let mut frames = self.frames.lock().expect("frame ring poisoned");
+        if let Some(back) = frames.back() {
+            if back.pane >= frame.pane {
+                return;
+            }
+        }
+        frames.push_back(frame);
+        while frames.len() > retain.max(1) {
+            frames.pop_front();
+        }
+        let head = frames.back().expect("just pushed").pane + 1;
+        drop(frames);
+        self.head.store(head, Ordering::Release);
+    }
+}
+
+/// Replayed head state for hubs serving a finished run straight from its
+/// pane log (no live engine).
+#[derive(Debug)]
+struct ReplayHead {
+    ring: WindowRing<CityAggregates>,
+    total: CityAggregates,
+    next_pane: u64,
+}
+
+enum HubSource {
+    /// A running engine; a fan-out thread follows its seals.
+    Live(Arc<LiveCity>),
+    /// A static replayed head; frames only come from registration and log
+    /// catch-up.
+    Replay(Box<ReplayHead>),
+}
+
+/// The serving hub. Construct with [`over_live`](Self::over_live) or
+/// [`over_log`](Self::over_log); subscribe with
+/// [`subscribe`](Self::subscribe); serve remotely by handing the `Arc` to
+/// [`crate::tcp::ServeServer`].
+pub struct ServeHub {
+    source: HubSource,
+    /// Pane-log directory for lagging-cursor catch-up, when available.
+    log_dir: Option<PathBuf>,
+    config: ServeConfig,
+    pane_us: u64,
+    cycle_us: u64,
+    retain_panes: usize,
+    channels: Mutex<Vec<Arc<QueryChannel>>>,
+    /// Bumped (under the mutex) and broadcast at every fan-out round so
+    /// [`Subscription::wait`] can block instead of spinning.
+    activity: Mutex<u64>,
+    activity_cv: Condvar,
+    shutdown: AtomicBool,
+    fanout: Mutex<Option<JoinHandle<()>>>,
+    registered_queries: AtomicU64,
+    subscribers: AtomicU64,
+    seal_batches: AtomicU64,
+    computed_frames: AtomicU64,
+    cache_hit_frames: AtomicU64,
+    catchup_frames: AtomicU64,
+    missed_frames: AtomicU64,
+    lag_notices: AtomicU64,
+    dropped_subscribers: AtomicU64,
+    frames_delivered: AtomicU64,
+}
+
+impl ServeHub {
+    fn assemble(
+        source: HubSource,
+        log_dir: Option<PathBuf>,
+        config: ServeConfig,
+        pane_us: u64,
+        cycle_us: u64,
+        retain_panes: usize,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            source,
+            log_dir,
+            config,
+            pane_us,
+            cycle_us,
+            retain_panes,
+            channels: Mutex::new(Vec::new()),
+            activity: Mutex::new(0),
+            activity_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            fanout: Mutex::new(None),
+            registered_queries: AtomicU64::new(0),
+            subscribers: AtomicU64::new(0),
+            seal_batches: AtomicU64::new(0),
+            computed_frames: AtomicU64::new(0),
+            cache_hit_frames: AtomicU64::new(0),
+            catchup_frames: AtomicU64::new(0),
+            missed_frames: AtomicU64::new(0),
+            lag_notices: AtomicU64::new(0),
+            dropped_subscribers: AtomicU64::new(0),
+            frames_delivered: AtomicU64::new(0),
+        })
+    }
+
+    /// A hub over a running engine. `log_dir` (normally the engine's own
+    /// pane-log directory) enables log catch-up for lagging cursors; pass
+    /// `None` to serve purely from memory. Spawns the fan-out thread.
+    pub fn over_live(
+        live: Arc<LiveCity>,
+        log_dir: Option<PathBuf>,
+        config: ServeConfig,
+    ) -> Arc<Self> {
+        let pane_us = live.config().pane_us;
+        let cycle_us = live.config().store.light_cycle_us;
+        let retain_panes = live.config().retain_panes;
+        let hub = Self::assemble(
+            HubSource::Live(Arc::clone(&live)),
+            log_dir,
+            config,
+            pane_us,
+            cycle_us,
+            retain_panes,
+        );
+        let weak = Arc::downgrade(&hub);
+        let handle = std::thread::Builder::new()
+            .name("serve-fanout".into())
+            .spawn(move || fanout_loop(weak, live))
+            .expect("spawn fan-out thread");
+        *hub.fanout.lock().expect("fanout handle poisoned") = Some(handle);
+        hub
+    }
+
+    /// A hub over a **finished** run's pane log: replays the verified log
+    /// to its durable head and serves from the reconstructed state. The
+    /// log also backs `from_start` catch-up. `pane_us`/`cycle_us` must
+    /// match the writing configuration.
+    pub fn over_log(
+        dir: impl AsRef<Path>,
+        retain_panes: usize,
+        pane_us: u64,
+        cycle_us: u64,
+        config: ServeConfig,
+    ) -> Result<Arc<Self>, LogError> {
+        let mut follower = LogFollower::open(&dir, retain_panes, pane_us, cycle_us)?;
+        follower.advance_to_end()?;
+        let (ring, total, next_pane) = follower.into_state();
+        Ok(Self::assemble(
+            HubSource::Replay(Box::new(ReplayHead {
+                ring,
+                total,
+                next_pane,
+            })),
+            Some(dir.as_ref().to_path_buf()),
+            config,
+            pane_us,
+            cycle_us,
+            retain_panes,
+        ))
+    }
+
+    /// Current serving-tier telemetry.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            registered_queries: self.registered_queries.load(Ordering::Relaxed),
+            subscribers: self.subscribers.load(Ordering::Relaxed),
+            seal_batches: self.seal_batches.load(Ordering::Relaxed),
+            computed_frames: self.computed_frames.load(Ordering::Relaxed),
+            cache_hit_frames: self.cache_hit_frames.load(Ordering::Relaxed),
+            catchup_frames: self.catchup_frames.load(Ordering::Relaxed),
+            missed_frames: self.missed_frames.load(Ordering::Relaxed),
+            lag_notices: self.lag_notices.load(Ordering::Relaxed),
+            dropped_subscribers: self.dropped_subscribers.load(Ordering::Relaxed),
+            frames_delivered: self.frames_delivered.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The hub's tuning knobs.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The lowest frame horizon across registered query channels — how far
+    /// the slowest query's cache has advanced (0 with no channels or no
+    /// frames yet). Lets harnesses wait for a fan-out round to land.
+    pub fn head_horizon(&self) -> u64 {
+        self.channels
+            .lock()
+            .expect("channels poisoned")
+            .iter()
+            .map(|c| c.head.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Pane width the hub serves at, µs.
+    pub fn pane_us(&self) -> u64 {
+        self.pane_us
+    }
+
+    /// Stops the fan-out thread and wakes every blocked subscriber. Called
+    /// automatically on drop.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.bump_activity();
+        let handle = self.fanout.lock().expect("fanout handle poisoned").take();
+        if let Some(handle) = handle {
+            if handle.thread().id() != std::thread::current().id() {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    /// Registers one query (deduplicating on the canonical encoding) and
+    /// returns its shared channel, seeding a head frame so head-mode
+    /// subscribers have a cached answer immediately.
+    fn register_query(&self, query: &LiveQuery) -> Arc<QueryChannel> {
+        let key = encode_query(query);
+        let mut channels = self.channels.lock().expect("channels poisoned");
+        if let Some(chan) = channels.iter().find(|c| c.key == key) {
+            return Arc::clone(chan);
+        }
+        let chan = Arc::new(QueryChannel {
+            query: *query,
+            key,
+            head: AtomicU64::new(0),
+            frames: Mutex::new(VecDeque::new()),
+        });
+        let (horizon, answer) = match &self.source {
+            HubSource::Live(live) => {
+                let (h, mut answers) = live.query_sealed(std::slice::from_ref(query));
+                (h, answers.pop().expect("one query, one answer"))
+            }
+            HubSource::Replay(head) => (
+                head.next_pane,
+                answer_windowed(
+                    query,
+                    &head.ring,
+                    &head.total,
+                    head.next_pane,
+                    head.next_pane * self.pane_us,
+                    self.pane_us,
+                    self.cycle_us,
+                ),
+            ),
+        };
+        if horizon > 0 {
+            let wire = encode_answer(&answer);
+            chan.push_frame(
+                Arc::new(PaneFrame {
+                    pane: horizon - 1,
+                    kind: FrameKind::Snapshot,
+                    answer,
+                    wire,
+                    sealed_at: Instant::now(),
+                }),
+                self.config.retain_frames,
+            );
+            self.computed_frames.fetch_add(1, Ordering::Relaxed);
+        }
+        self.registered_queries.fetch_add(1, Ordering::Relaxed);
+        channels.push(Arc::clone(&chan));
+        chan
+    }
+
+    /// One fan-out round: evaluate every registered query under a single
+    /// acquisition of the sealed state and push the shared frames.
+    fn fan_out_once(&self, live: &LiveCity) {
+        let sealed = live.sealed_panes();
+        let channels: Vec<Arc<QueryChannel>> = self
+            .channels
+            .lock()
+            .expect("channels poisoned")
+            .iter()
+            .filter(|c| c.head.load(Ordering::Acquire) < sealed)
+            .cloned()
+            .collect();
+        if channels.is_empty() {
+            self.bump_activity();
+            return;
+        }
+        let queries: Vec<LiveQuery> = channels.iter().map(|c| c.query).collect();
+        let (horizon, answers) = live.query_sealed(&queries);
+        let sealed_at = Instant::now();
+        if horizon == 0 {
+            return;
+        }
+        let mut produced = false;
+        for (chan, answer) in channels.iter().zip(answers) {
+            if chan.head.load(Ordering::Acquire) >= horizon {
+                continue;
+            }
+            let wire = encode_answer(&answer);
+            chan.push_frame(
+                Arc::new(PaneFrame {
+                    pane: horizon - 1,
+                    kind: FrameKind::Delta,
+                    answer,
+                    wire,
+                    sealed_at,
+                }),
+                self.config.retain_frames,
+            );
+            self.computed_frames.fetch_add(1, Ordering::Relaxed);
+            produced = true;
+        }
+        if produced {
+            self.seal_batches.fetch_add(1, Ordering::Relaxed);
+        }
+        self.bump_activity();
+    }
+
+    fn bump_activity(&self) {
+        let mut gen = self.activity.lock().expect("activity poisoned");
+        *gen += 1;
+        drop(gen);
+        self.activity_cv.notify_all();
+    }
+
+    /// Subscribes to a set of queries. `from_start` starts every cursor at
+    /// pane 0 (catching up through the pane log when the hub has one);
+    /// otherwise cursors start at the newest cached frame, so the first
+    /// poll is an immediate cache hit.
+    pub fn subscribe(self: &Arc<Self>, queries: &[LiveQuery], from_start: bool) -> Subscription {
+        let mut sub = Subscription {
+            hub: Arc::clone(self),
+            entries: Vec::with_capacity(queries.len()),
+            lag_noticed: false,
+            dropped: false,
+            counted: true,
+            seen_activity: *self.activity.lock().expect("activity poisoned"),
+        };
+        self.subscribers.fetch_add(1, Ordering::Relaxed);
+        for query in queries {
+            sub.add_query(query, from_start);
+        }
+        sub
+    }
+}
+
+impl Drop for ServeHub {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The seal-driven fan-out thread: waits on the engine's pane-seal condvar
+/// and runs one fan-out round per wake. Holds only a `Weak` hub reference
+/// so an abandoned hub unwinds itself.
+fn fanout_loop(hub: Weak<ServeHub>, live: Arc<LiveCity>) {
+    let mut seals = LiveSubscription::new();
+    loop {
+        let wait = {
+            let Some(hub) = hub.upgrade() else { return };
+            if hub.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            hub.config.fanout_wait
+        };
+        let (panes, missed) = seals.wait_next(&live, wait);
+        let Some(hub) = hub.upgrade() else { return };
+        if hub.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        if panes.is_empty() && missed == 0 {
+            continue;
+        }
+        hub.fan_out_once(&live);
+    }
+}
+
+/// One subscriber-side cursor into a query channel.
+#[derive(Debug)]
+struct SubEntry {
+    chan: Arc<QueryChannel>,
+    /// Next pane index this cursor wants.
+    cursor: u64,
+    /// Head-mode subscriber registered before the channel had any frame:
+    /// its stream starts at whatever frame lands first, and the pane gap
+    /// up to that frame is not lag (fan-out rounds coalesce seals, so
+    /// those panes never existed as frames).
+    attach_next: bool,
+    /// Lazily-opened log follower for catch-up below ring retention.
+    follower: Option<LogFollower>,
+}
+
+/// What a subscriber receives from one poll.
+#[derive(Debug, Clone)]
+pub enum ServeEvent {
+    /// A cached (or log-rebuilt) answer for the subscription's `query`-th
+    /// registered query.
+    Frame {
+        /// Index into the subscription's query list.
+        query: usize,
+        /// The shared frame.
+        frame: Arc<PaneFrame>,
+    },
+    /// This subscriber has fallen `behind_panes` behind the head.
+    LagNotice {
+        /// Worst cursor lag, panes.
+        behind_panes: u64,
+    },
+    /// This subscriber crossed the cursor-lag bound and is now dropped;
+    /// no further events will be produced.
+    Dropped {
+        /// Lag at drop time, panes.
+        behind_panes: u64,
+    },
+}
+
+/// A subscriber: a set of per-query cursors plus the lag-policy state.
+/// Dropping the subscription releases its slot in the gauge.
+pub struct Subscription {
+    hub: Arc<ServeHub>,
+    entries: Vec<SubEntry>,
+    lag_noticed: bool,
+    dropped: bool,
+    counted: bool,
+    seen_activity: u64,
+}
+
+impl Subscription {
+    /// Adds one more query to this subscription (the TCP transport
+    /// subscribes incrementally). Returns the query's index in the event
+    /// stream.
+    pub fn add_query(&mut self, query: &LiveQuery, from_start: bool) -> usize {
+        let chan = self.hub.register_query(query);
+        let head = chan.head.load(Ordering::Acquire);
+        let (cursor, attach_next) = if from_start {
+            (0, false)
+        } else {
+            (head.saturating_sub(1), head == 0)
+        };
+        self.entries.push(SubEntry {
+            chan,
+            cursor,
+            attach_next,
+            follower: None,
+        });
+        self.entries.len() - 1
+    }
+
+    /// Worst cursor lag across this subscription's queries, panes.
+    pub fn behind_panes(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| e.chan.head.load(Ordering::Acquire).saturating_sub(e.cursor))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether every cursor has consumed up to its channel head.
+    pub fn caught_up(&self) -> bool {
+        self.entries
+            .iter()
+            .all(|e| e.cursor >= e.chan.head.load(Ordering::Acquire))
+    }
+
+    /// Whether the lag policy has dropped this subscriber.
+    pub fn is_dropped(&self) -> bool {
+        self.dropped
+    }
+
+    /// Applies **only** the lag policy (no delivery): the event a stalled
+    /// transport must still surface while it is unwilling to deliver
+    /// frames. Part of every [`poll`](Self::poll).
+    pub fn lag_events(&mut self) -> Option<ServeEvent> {
+        if self.dropped {
+            return None;
+        }
+        let behind = self.behind_panes();
+        if behind >= self.hub.config.max_cursor_lag_panes {
+            self.dropped = true;
+            self.hub.dropped_subscribers.fetch_add(1, Ordering::Relaxed);
+            if self.counted {
+                self.counted = false;
+                self.hub.subscribers.fetch_sub(1, Ordering::Relaxed);
+            }
+            return Some(ServeEvent::Dropped {
+                behind_panes: behind,
+            });
+        }
+        if behind >= self.hub.config.lag_notice_panes {
+            if !self.lag_noticed {
+                self.lag_noticed = true;
+                self.hub.lag_notices.fetch_add(1, Ordering::Relaxed);
+                return Some(ServeEvent::LagNotice {
+                    behind_panes: behind,
+                });
+            }
+        } else {
+            self.lag_noticed = false;
+        }
+        None
+    }
+
+    /// Non-blocking poll: lag policy first, then every frame each cursor
+    /// can reach — ring frames as shared cache hits, below-retention gaps
+    /// rebuilt from the pane log (bounded by
+    /// [`ServeConfig::catchup_batch`]) or counted as missed.
+    pub fn poll(&mut self) -> Vec<ServeEvent> {
+        let mut events = Vec::new();
+        if let Some(event) = self.lag_events() {
+            let terminal = matches!(event, ServeEvent::Dropped { .. });
+            events.push(event);
+            if terminal {
+                return events;
+            }
+        }
+        if self.dropped {
+            return events;
+        }
+        let hub = Arc::clone(&self.hub);
+        for (index, entry) in self.entries.iter_mut().enumerate() {
+            if entry.chan.head.load(Ordering::Acquire) <= entry.cursor {
+                continue; // lock-free fast path: caught up
+            }
+            let ring: Vec<Arc<PaneFrame>> = {
+                let frames = entry.chan.frames.lock().expect("frame ring poisoned");
+                frames
+                    .iter()
+                    .filter(|f| f.pane >= entry.cursor)
+                    .cloned()
+                    .collect()
+            };
+            // A gap below the oldest retained frame: the cache can't serve
+            // it. Rebuild from the log when we have one, else skip forward.
+            if let Some(oldest) = ring.first().map(|f| f.pane) {
+                if entry.cursor < oldest {
+                    if entry.attach_next {
+                        // First frames since subscribing at an empty head:
+                        // the stream starts here, there is no gap.
+                        entry.cursor = oldest;
+                    } else {
+                        Self::catch_up(&hub, entry, index, oldest, &mut events);
+                        if entry.cursor < oldest {
+                            // Catch-up batch exhausted below the ring:
+                            // deliver nothing newer yet — in-order resumes
+                            // next poll.
+                            continue;
+                        }
+                    }
+                }
+                entry.attach_next = false;
+            }
+            for frame in ring {
+                if frame.pane < entry.cursor {
+                    continue; // already rebuilt from the log this poll
+                }
+                entry.cursor = frame.pane + 1;
+                hub.cache_hit_frames.fetch_add(1, Ordering::Relaxed);
+                hub.frames_delivered.fetch_add(1, Ordering::Relaxed);
+                events.push(ServeEvent::Frame {
+                    query: index,
+                    frame,
+                });
+            }
+        }
+        events
+    }
+
+    /// Rebuilds frames for panes `entry.cursor .. bound` from the pane
+    /// log, bounded by `catchup_batch` per call.
+    fn catch_up(
+        hub: &ServeHub,
+        entry: &mut SubEntry,
+        index: usize,
+        bound: u64,
+        events: &mut Vec<ServeEvent>,
+    ) {
+        let Some(dir) = hub.log_dir.as_ref() else {
+            hub.missed_frames
+                .fetch_add(bound - entry.cursor, Ordering::Relaxed);
+            entry.cursor = bound;
+            return;
+        };
+        if entry.follower.is_none() {
+            match LogFollower::open(dir, hub.retain_panes, hub.pane_us, hub.cycle_us) {
+                Ok(f) => entry.follower = Some(f),
+                Err(_) => {
+                    hub.missed_frames
+                        .fetch_add(bound - entry.cursor, Ordering::Relaxed);
+                    entry.cursor = bound;
+                    return;
+                }
+            }
+        }
+        let stop = bound.min(entry.cursor + hub.config.catchup_batch as u64);
+        let mut fell_off_log = false;
+        while entry.cursor < stop {
+            let follower = entry.follower.as_mut().expect("just opened");
+            match follower.advance_past(entry.cursor) {
+                Ok(true) => {
+                    let answer = follower.answer(&entry.chan.query);
+                    let wire = encode_answer(&answer);
+                    events.push(ServeEvent::Frame {
+                        query: index,
+                        frame: Arc::new(PaneFrame {
+                            pane: follower.next_pane() - 1,
+                            kind: FrameKind::Snapshot,
+                            answer,
+                            wire,
+                            sealed_at: Instant::now(),
+                        }),
+                    });
+                    hub.catchup_frames.fetch_add(1, Ordering::Relaxed);
+                    hub.frames_delivered.fetch_add(1, Ordering::Relaxed);
+                    entry.cursor = follower.next_pane();
+                }
+                Ok(false) | Err(_) => {
+                    fell_off_log = true;
+                    break;
+                }
+            }
+        }
+        if fell_off_log {
+            // Log ends (or errors) below the bound: the remainder is only
+            // in memory — count it missed and move on.
+            hub.missed_frames
+                .fetch_add(bound - entry.cursor, Ordering::Relaxed);
+            entry.cursor = bound;
+            entry.follower = None;
+            return;
+        }
+        if entry.cursor >= bound {
+            entry.follower = None; // caught up into the ring; drop the replay state
+        }
+    }
+
+    /// Blocks until a fan-out round lands (or `timeout` expires), then
+    /// polls. The subscriber-side replacement for busy-polling.
+    pub fn wait(&mut self, timeout: Duration) -> Vec<ServeEvent> {
+        let deadline = Instant::now() + timeout;
+        {
+            let mut gen = self.hub.activity.lock().expect("activity poisoned");
+            while *gen == self.seen_activity && !self.hub.shutdown.load(Ordering::SeqCst) {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (g, _) = self
+                    .hub
+                    .activity_cv
+                    .wait_timeout(gen, deadline - now)
+                    .expect("activity poisoned");
+                gen = g;
+            }
+            self.seen_activity = *gen;
+        }
+        self.poll()
+    }
+
+    /// The hub this subscription reads from.
+    pub fn hub(&self) -> &Arc<ServeHub> {
+        &self.hub
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        if self.counted {
+            self.hub.subscribers.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! The TCP transport: [`ServeServer`] pushes cached frames to remote
+//! subscribers over the [`crate::wire`] protocol; [`ServeClient`] is the
+//! matching consumer.
+//!
+//! One thread per connection (the per-subscriber state is a cursor and a
+//! socket — cheap; massive fan-out tests use the in-process transport,
+//! this one exists for real remote dashboards and the cross-process
+//! byte-identity guarantee). Delivery is flow-controlled at the
+//! **application** layer: the client acks consumed frames, and once
+//! [`ServeConfig::ack_window`](crate::hub::ServeConfig::ack_window) frames
+//! are in flight unacknowledged the server stops delivering and lets the
+//! hub's cursor-lag policy take over — so a stalled subscriber is lag
+//! noticed and then dropped deterministically, regardless of how much the
+//! kernel's socket buffers would have absorbed.
+
+use crate::hub::{ServeEvent, ServeHub, Subscription};
+use crate::wire::{decode_frame, write_frame, Frame, MAX_FRAME_BYTES, WIRE_VERSION};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a connection waits for the client's hello.
+const HELLO_TIMEOUT: Duration = Duration::from_secs(5);
+/// Read-timeout granularity of the per-connection loop: the cadence at
+/// which it alternates between draining client frames and polling the hub.
+const LOOP_TICK: Duration = Duration::from_millis(10);
+
+/// Outcome of one non-destructive read attempt on a [`FrameReader`].
+enum TickRead {
+    /// A complete frame arrived.
+    Frame(Frame),
+    /// No complete frame yet (the read timed out, possibly mid-frame — the
+    /// partial bytes are kept for the next attempt).
+    Pending,
+    /// The peer closed cleanly at a frame boundary.
+    Closed,
+}
+
+/// An incremental frame reader that survives read timeouts **mid-frame**.
+///
+/// `read_exact` under a socket read timeout is not restartable: a timeout
+/// can fire after some bytes of the length prefix or body were consumed,
+/// and those bytes are gone — the stream is desynced forever after. Both
+/// the per-connection server loop (10 ms ticks) and the client's
+/// deadline-bounded `next_frame` read under timeouts, so they accumulate
+/// partial frames here instead and only yield whole ones.
+struct FrameReader {
+    stream: TcpStream,
+    /// Bytes of the in-flight frame: `[len u32 LE]` then body.
+    buf: Vec<u8>,
+    /// Total bytes `buf` must reach: 4 while reading the prefix, then
+    /// `4 + body_len`.
+    need: usize,
+}
+
+impl FrameReader {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            buf: Vec::with_capacity(4096),
+            need: 4,
+        }
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Makes progress on the in-flight frame with whatever bytes are
+    /// available before the socket's read timeout.
+    fn poll_frame(&mut self) -> io::Result<TickRead> {
+        loop {
+            if self.buf.len() == 4 && self.need == 4 {
+                let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+                if len == 0 || len > MAX_FRAME_BYTES {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("frame length {len} out of range"),
+                    ));
+                }
+                self.need = 4 + len;
+                continue;
+            }
+            if self.need > 4 && self.buf.len() == self.need {
+                let frame = decode_frame(&self.buf[4..])
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                self.buf.clear();
+                self.need = 4;
+                return Ok(TickRead::Frame(frame));
+            }
+            let want = (self.need - self.buf.len()).min(65536);
+            let mut chunk = vec![0u8; want];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(TickRead::Closed)
+                    } else {
+                        Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-frame",
+                        ))
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(TickRead::Pending);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Blocks until a whole frame (or clean close) arrives, up to
+    /// `timeout`. `Ok(None)` means the deadline passed with no complete
+    /// frame; `Err(UnexpectedEof)` a close mid-frame.
+    fn read_deadline(&mut self, timeout: Duration) -> io::Result<Option<TickRead>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            self.set_read_timeout(Some(remaining.max(Duration::from_millis(1))))?;
+            match self.poll_frame()? {
+                TickRead::Pending => {}
+                done => return Ok(Some(done)),
+            }
+            if Instant::now() >= deadline {
+                return Ok(None);
+            }
+        }
+    }
+}
+
+/// A TCP server fanning one [`ServeHub`] out to remote subscribers.
+#[derive(Debug)]
+pub struct ServeServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServeServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts accepting
+    /// subscribers against `hub`.
+    pub fn bind(hub: Arc<ServeHub>, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(listener, hub, accept_shutdown))?;
+        Ok(Self {
+            local_addr,
+            shutdown,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting and joins the accept thread (which joins every
+    /// connection thread). Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServeServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, hub: Arc<ServeHub>, shutdown: Arc<AtomicBool>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { break };
+        let hub = Arc::clone(&hub);
+        let conn_shutdown = Arc::clone(&shutdown);
+        if let Ok(handle) = std::thread::Builder::new()
+            .name("serve-conn".into())
+            .spawn(move || {
+                let _ = connection_loop(stream, hub, conn_shutdown);
+            })
+        {
+            connections.push(handle);
+        }
+        // Reap finished connection threads so a long-lived server does not
+        // accumulate handles.
+        connections.retain(|h| !h.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+/// Serves one connection: hello exchange, then alternate between draining
+/// client frames (subscribes, acks) and delivering hub events.
+fn connection_loop(
+    stream: TcpStream,
+    hub: Arc<ServeHub>,
+    shutdown: Arc<AtomicBool>,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_write_timeout(Some(hub.config().write_timeout))?;
+    let mut reader = FrameReader::new(stream.try_clone()?);
+    let mut writer = stream;
+
+    // Hello exchange (client speaks first).
+    match reader.read_deadline(HELLO_TIMEOUT)? {
+        Some(TickRead::Frame(Frame::Hello { version })) if version == WIRE_VERSION => {}
+        Some(TickRead::Frame(Frame::Hello { version })) => {
+            return Err(io::Error::other(format!(
+                "client wire version {version}, server {WIRE_VERSION}"
+            )));
+        }
+        _ => return Err(io::Error::other("expected hello")),
+    }
+    write_frame(
+        &mut writer,
+        &Frame::Hello {
+            version: WIRE_VERSION,
+        },
+    )?;
+    writer.flush()?;
+    reader.set_read_timeout(Some(LOOP_TICK))?;
+
+    let mut subscription: Option<Subscription> = None;
+    // Client-chosen ids, parallel to the subscription's query indices.
+    let mut sub_ids: Vec<u32> = Vec::new();
+    let mut unacked: u64 = 0;
+    let ack_window = hub.config().ack_window as u64;
+
+    while !shutdown.load(Ordering::SeqCst) {
+        // Drain at most one client frame per tick; the read timeout is the
+        // loop's pacing (partial frames survive in the reader's buffer).
+        match reader.poll_frame()? {
+            TickRead::Frame(Frame::Subscribe {
+                sub_id,
+                from_start,
+                query,
+            }) => {
+                let sub = subscription.get_or_insert_with(|| hub.subscribe(&[], false));
+                sub.add_query(&query, from_start);
+                sub_ids.push(sub_id);
+            }
+            TickRead::Frame(Frame::Ack { count }) => {
+                unacked = unacked.saturating_sub(count as u64);
+            }
+            TickRead::Frame(_) => {} // clients have nothing else to say; ignore
+            TickRead::Closed => return Ok(()), // clean disconnect
+            TickRead::Pending => {}
+        }
+        let Some(sub) = subscription.as_mut() else {
+            continue;
+        };
+        // Flow control: past the ack window we stop delivering, but the
+        // lag policy keeps running — that is what turns a stalled client
+        // into a notice and then a drop.
+        let events = if unacked > ack_window {
+            sub.lag_events().into_iter().collect()
+        } else {
+            sub.poll()
+        };
+        for event in events {
+            match event {
+                ServeEvent::Frame { query, frame } => {
+                    let sub_id = sub_ids.get(query).copied().unwrap_or(query as u32);
+                    let pane = frame.pane;
+                    let age_us = frame.sealed_at.elapsed().as_micros() as u64;
+                    let answer = frame.wire.clone();
+                    let out = match frame.kind {
+                        crate::hub::FrameKind::Snapshot => Frame::Snapshot {
+                            sub_id,
+                            pane,
+                            age_us,
+                            answer,
+                        },
+                        crate::hub::FrameKind::Delta => Frame::Delta {
+                            sub_id,
+                            pane,
+                            age_us,
+                            answer,
+                        },
+                    };
+                    write_frame(&mut writer, &out)?;
+                    unacked += 1;
+                }
+                ServeEvent::LagNotice { behind_panes } => {
+                    write_frame(&mut writer, &Frame::LagNotice { behind_panes })?;
+                }
+                ServeEvent::Dropped { behind_panes } => {
+                    // Best effort: tell the client why, then hang up.
+                    let _ = write_frame(&mut writer, &Frame::Dropped { behind_panes });
+                    let _ = writer.flush();
+                    return Ok(());
+                }
+            }
+        }
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// A TCP subscriber: connects, subscribes, and consumes frames with
+/// automatic acknowledgement.
+pub struct ServeClient {
+    reader: FrameReader,
+    writer: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects and completes the hello exchange.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = FrameReader::new(writer.try_clone()?);
+        let mut client = Self { reader, writer };
+        write_frame(
+            &mut client.writer,
+            &Frame::Hello {
+                version: WIRE_VERSION,
+            },
+        )?;
+        client.writer.flush()?;
+        match client.reader.read_deadline(HELLO_TIMEOUT)? {
+            Some(TickRead::Frame(Frame::Hello { version })) if version == WIRE_VERSION => {}
+            Some(TickRead::Frame(Frame::Hello { version })) => {
+                return Err(io::Error::other(format!(
+                    "server wire version {version}, client {WIRE_VERSION}"
+                )));
+            }
+            _ => return Err(io::Error::other("expected hello")),
+        }
+        Ok(client)
+    }
+
+    /// Subscribes `sub_id` (echoed on every frame for this query) to one
+    /// query.
+    pub fn subscribe(
+        &mut self,
+        sub_id: u32,
+        query: &caraoke_live::LiveQuery,
+        from_start: bool,
+    ) -> io::Result<()> {
+        write_frame(
+            &mut self.writer,
+            &Frame::Subscribe {
+                sub_id,
+                from_start,
+                query: *query,
+            },
+        )?;
+        self.writer.flush()
+    }
+
+    /// Sends an explicit ack for `count` consumed frames. (Usually
+    /// unnecessary: [`next_frame`](Self::next_frame) acks automatically.)
+    pub fn ack(&mut self, count: u32) -> io::Result<()> {
+        write_frame(&mut self.writer, &Frame::Ack { count })?;
+        self.writer.flush()
+    }
+
+    /// Waits up to `timeout` for the next server frame. `Ok(None)` means
+    /// timeout or clean server close. Snapshot/delta frames are
+    /// acknowledged automatically before returning. A timeout mid-frame is
+    /// harmless: the partial bytes are buffered and the next call resumes
+    /// where this one stopped.
+    pub fn next_frame(&mut self, timeout: Duration) -> io::Result<Option<Frame>> {
+        match self.reader.read_deadline(timeout)? {
+            Some(TickRead::Frame(frame)) => {
+                if matches!(frame, Frame::Snapshot { .. } | Frame::Delta { .. }) {
+                    self.ack(1)?;
+                }
+                Ok(Some(frame))
+            }
+            Some(TickRead::Closed) | Some(TickRead::Pending) | None => Ok(None),
+        }
+    }
+}

@@ -15,4 +15,5 @@ pub use caraoke_live as live;
 pub use caraoke_log as log;
 pub use caraoke_phy as phy;
 pub use caraoke_power as power;
+pub use caraoke_serve as serve;
 pub use caraoke_sim as sim;

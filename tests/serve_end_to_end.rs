@@ -1,0 +1,482 @@
+//! End-to-end tests for the serving tier: byte-identity of TCP-served
+//! snapshots against in-process queries, the once-per-seal snapshot cache
+//! fanning out to many subscribers, from-start catch-up through the pane
+//! log, and the slow-subscriber policy (lag notice, then drop) over both
+//! transports — with ingest demonstrably unaffected.
+
+use caraoke_suite::city::{
+    FrameSource, PoleDirectory, PoleId, PoleReport, PoleSite, SegmentId, SyntheticCity,
+};
+use caraoke_suite::geom::Vec3;
+use caraoke_suite::live::{LiveCity, LiveConfig, LiveQuery, WindowSpec};
+use caraoke_suite::log::LogOptions;
+use caraoke_suite::serve::{
+    encode_answer, read_frame, write_frame, Frame, ServeClient, ServeConfig, ServeEvent, ServeHub,
+    ServeServer, WIRE_VERSION,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Streams every epoch of `source` into `live` from 8 pole-striped threads.
+fn stream(live: &LiveCity, source: &SyntheticCity) {
+    let n_poles = source.directory().len() as u32;
+    std::thread::scope(|scope| {
+        for w in 0..8u32 {
+            let live = &live;
+            scope.spawn(move || {
+                for pole in (w..n_poles).step_by(8) {
+                    for epoch in 0..source.epochs() {
+                        live.ingest(&source.report(pole, epoch));
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// The standard probe queries (window widths in multiples of the default
+/// 1.5 s pane).
+fn probes() -> Vec<LiveQuery> {
+    vec![
+        LiveQuery::Occupancy {
+            segment: SegmentId(0),
+            window: WindowSpec::tumbling(6_000_000),
+        },
+        LiveQuery::SpeedPercentile {
+            p: 90.0,
+            window: WindowSpec::tumbling(9_000_000),
+        },
+        LiveQuery::TopOd {
+            n: 5,
+            window: WindowSpec::tumbling(12_000_000),
+        },
+        LiveQuery::Flow {
+            segment: SegmentId(0),
+            last_cycles: 2,
+        },
+        LiveQuery::Watermark,
+    ]
+}
+
+/// A single-pole engine whose event time the test controls one report at a
+/// time: pane width 1 s, reporting pole 0 at `t_us` seals every pane below
+/// `t_us`.
+fn hand_driven_city() -> LiveCity {
+    let directory = PoleDirectory::new(vec![PoleSite {
+        segment: SegmentId(0),
+        position: Vec3::new(0.0, -5.0, 3.8),
+    }]);
+    LiveCity::new(
+        directory,
+        LiveConfig {
+            pane_us: 1_000_000,
+            lateness_panes: 0,
+            retain_panes: 8,
+            ..Default::default()
+        },
+    )
+}
+
+fn report_at(t_us: u64) -> PoleReport {
+    PoleReport {
+        pole: PoleId(0),
+        segment: SegmentId(0),
+        timestamp_us: t_us,
+        count: 0,
+        peaks: 0,
+        observations: vec![],
+    }
+}
+
+/// Waits until `cond` holds or panics after ~5 s.
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn tcp_served_snapshots_are_byte_identical_to_in_process_queries() {
+    // The acceptance contract: a snapshot served over TCP carries exactly
+    // encode_answer(LiveCity::query(q)) for the same pane.
+    let source = SyntheticCity::new(24, 10, 2024);
+    let live = Arc::new(LiveCity::new(
+        source.directory().clone(),
+        LiveConfig::default(),
+    ));
+    stream(&live, &source);
+    live.finish();
+    let horizon = live.sealed_panes();
+    assert!(horizon > 0);
+
+    let hub = ServeHub::over_live(Arc::clone(&live), None, ServeConfig::default());
+    let server = ServeServer::bind(Arc::clone(&hub), "127.0.0.1:0").expect("bind");
+    let mut client = ServeClient::connect(server.local_addr()).expect("connect");
+
+    for (sub_id, query) in probes().iter().enumerate() {
+        client
+            .subscribe(sub_id as u32, query, false)
+            .expect("subscribe");
+    }
+    let expect: Vec<Vec<u8>> = probes()
+        .iter()
+        .map(|q| encode_answer(&live.query(q)))
+        .collect();
+    let mut seen = vec![false; expect.len()];
+    while seen.iter().any(|s| !s) {
+        match client
+            .next_frame(Duration::from_secs(5))
+            .expect("frame")
+            .expect("server closed early")
+        {
+            Frame::Snapshot {
+                sub_id,
+                pane,
+                answer,
+                ..
+            }
+            | Frame::Delta {
+                sub_id,
+                pane,
+                answer,
+                ..
+            } => {
+                let i = sub_id as usize;
+                assert_eq!(pane, horizon - 1, "served at the engine's head pane");
+                assert_eq!(
+                    answer, expect[i],
+                    "wire answer bytes == in-process query bytes for probe {i}"
+                );
+                seen[i] = true;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+
+    let stats = hub.stats();
+    assert_eq!(stats.registered_queries, probes().len() as u64);
+    assert_eq!(stats.subscribers, 1);
+}
+
+#[test]
+fn one_seal_computation_fans_out_to_every_subscriber() {
+    let live = Arc::new(hand_driven_city());
+    let hub = ServeHub::over_live(Arc::clone(&live), None, ServeConfig::default());
+
+    // 32 subscribers, all of the same single query: one cache key.
+    let query = [LiveQuery::Watermark];
+    let mut subs: Vec<_> = (0..32).map(|_| hub.subscribe(&query, false)).collect();
+    assert_eq!(hub.stats().registered_queries, 1);
+    assert_eq!(hub.stats().subscribers, 32);
+
+    // Seal 6 panes; the fan-out thread computes each head frame once.
+    for t in 1..=6u64 {
+        live.ingest(&report_at(t * 1_000_000));
+    }
+    wait_until("every subscriber to receive fanned-out frames", || {
+        for s in subs.iter_mut() {
+            let _ = s.poll();
+        }
+        hub.stats().frames_delivered >= 32 && subs.iter().all(|s| s.caught_up())
+    });
+
+    let stats = hub.stats();
+    assert_eq!(stats.registered_queries, 1, "32 subscribers, 1 cache key");
+    // The computed-once/fanned-out ledger: every subscriber got frames, but
+    // the hub only evaluated the query once per fan-out round (+1 at
+    // registration) — far fewer computations than deliveries.
+    assert!(stats.frames_delivered >= 32, "{stats:?}");
+    assert_eq!(stats.cache_hit_frames, stats.frames_delivered, "{stats:?}");
+    assert!(
+        stats.computed_frames <= stats.seal_batches + 1,
+        "one computation per seal round: {stats:?}"
+    );
+    assert!(
+        stats.computed_frames * 8 <= stats.frames_delivered,
+        "fan-out amortizes computation: {stats:?}"
+    );
+    assert_eq!(stats.missed_frames, 0);
+    assert_eq!(stats.dropped_subscribers, 0);
+
+    drop(subs);
+    assert_eq!(hub.stats().subscribers, 0, "gauge drains on drop");
+}
+
+#[test]
+fn stalled_in_process_subscriber_is_noticed_then_dropped_and_ingest_is_unaffected() {
+    let live = Arc::new(hand_driven_city());
+    let config = ServeConfig {
+        lag_notice_panes: 4,
+        max_cursor_lag_panes: 8,
+        retain_frames: 4,
+        ..Default::default()
+    };
+    let hub = ServeHub::over_live(Arc::clone(&live), None, config);
+    let mut sub = hub.subscribe(&[LiveQuery::Watermark], false);
+    assert_eq!(hub.stats().subscribers, 1);
+
+    // Seal 6 panes while the subscriber sits idle: lag 6 is past the
+    // notice bound (4) but under the drop bound (8).
+    for t in 1..=6u64 {
+        live.ingest(&report_at(t * 1_000_000));
+    }
+    wait_until("head to reach pane 6", || sub.behind_panes() >= 6);
+    let events = sub.poll();
+    assert!(
+        matches!(events.first(), Some(ServeEvent::LagNotice { behind_panes }) if *behind_panes >= 4),
+        "first event is the lag notice: {events:?}"
+    );
+    // The notice is advisory: the same poll still delivers what the ring
+    // retains, and the subscriber is caught up again afterwards.
+    assert!(events
+        .iter()
+        .skip(1)
+        .all(|e| matches!(e, ServeEvent::Frame { .. })));
+    assert!(sub.caught_up());
+
+    // Now stall past the drop bound: 8 more panes with no poll.
+    for t in 7..=14u64 {
+        live.ingest(&report_at(t * 1_000_000));
+    }
+    wait_until("lag to cross the drop bound", || sub.behind_panes() >= 8);
+    let events = sub.poll();
+    assert_eq!(
+        events.len(),
+        1,
+        "a dropped subscriber gets only the verdict"
+    );
+    assert!(
+        matches!(events[0], ServeEvent::Dropped { behind_panes } if behind_panes >= 8),
+        "{events:?}"
+    );
+    assert!(sub.is_dropped());
+    assert!(sub.poll().is_empty(), "dropped is terminal");
+
+    let stats = hub.stats();
+    assert_eq!(stats.lag_notices, 1);
+    assert_eq!(stats.dropped_subscribers, 1);
+    assert_eq!(stats.subscribers, 0, "the drop released the gauge slot");
+    // Ingest never noticed: every pane sealed, nothing shed, no stalls.
+    assert_eq!(live.sealed_panes(), 14);
+    assert_eq!(live.stats().shed_reports, 0);
+}
+
+#[test]
+fn stalled_tcp_subscriber_hits_the_ack_window_then_the_lag_policy() {
+    let live = Arc::new(hand_driven_city());
+    let config = ServeConfig {
+        // Pause delivery after a single unacked frame so the stall point is
+        // deterministic, then notice at 4 and drop at 8 panes behind.
+        ack_window: 0,
+        lag_notice_panes: 4,
+        max_cursor_lag_panes: 8,
+        retain_frames: 4,
+        ..Default::default()
+    };
+    let hub = ServeHub::over_live(Arc::clone(&live), None, config);
+    let server = ServeServer::bind(Arc::clone(&hub), "127.0.0.1:0").expect("bind");
+
+    // Seal pane 0 so subscribing at the head starts from a known cursor.
+    live.ingest(&report_at(1_000_000));
+    wait_until("pane 0 to seal", || live.sealed_panes() >= 1);
+
+    // A raw wire client that NEVER acks — the stalled dashboard. (A read
+    // timeout turns any missing server frame into a visible failure.)
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    write_frame(
+        &mut stream,
+        &Frame::Hello {
+            version: WIRE_VERSION,
+        },
+    )
+    .expect("hello");
+    match read_frame(&mut stream).expect("hello reply") {
+        Some(Frame::Hello { version }) => assert_eq!(version, WIRE_VERSION),
+        other => panic!("expected hello, got {other:?}"),
+    }
+    write_frame(
+        &mut stream,
+        &Frame::Subscribe {
+            sub_id: 7,
+            from_start: false,
+            query: LiveQuery::Watermark,
+        },
+    )
+    .expect("subscribe");
+
+    // First (and only) delivered frame: after it, one unacked frame > the
+    // zero ack window, so the server stops delivering and polices lag.
+    let first = read_frame(&mut stream).expect("first frame").expect("open");
+    let first_pane = match first {
+        Frame::Snapshot { sub_id, pane, .. } | Frame::Delta { sub_id, pane, .. } => {
+            assert_eq!(sub_id, 7);
+            pane
+        }
+        other => panic!("expected a data frame, got {other:?}"),
+    };
+
+    // Advance to lag 6 from the client's cursor: notice territory.
+    let cursor = first_pane + 1;
+    for pane in cursor..cursor + 6 {
+        live.ingest(&report_at((pane + 1) * 1_000_000));
+    }
+    match read_frame(&mut stream).expect("notice").expect("open") {
+        Frame::LagNotice { behind_panes } => assert!(behind_panes >= 4, "{behind_panes}"),
+        other => panic!("expected lag notice, got {other:?}"),
+    }
+
+    // Advance past the drop bound.
+    for pane in cursor + 6..cursor + 9 {
+        live.ingest(&report_at((pane + 1) * 1_000_000));
+    }
+    match read_frame(&mut stream).expect("dropped").expect("open") {
+        Frame::Dropped { behind_panes } => assert!(behind_panes >= 8, "{behind_panes}"),
+        other => panic!("expected dropped, got {other:?}"),
+    }
+    // The server hangs up after the verdict.
+    assert!(
+        read_frame(&mut stream).expect("clean close").is_none(),
+        "connection closed after drop"
+    );
+
+    wait_until("connection teardown to release the gauge", || {
+        hub.stats().subscribers == 0
+    });
+    let stats = hub.stats();
+    assert_eq!(stats.lag_notices, 1);
+    assert_eq!(stats.dropped_subscribers, 1);
+    // Ingest ran at full event-time speed throughout.
+    assert_eq!(live.sealed_panes(), cursor + 9);
+    assert_eq!(live.stats().shed_reports, 0);
+}
+
+#[test]
+fn from_start_subscriber_catches_up_through_the_pane_log() {
+    let dir = scratch("serve-catchup");
+    let source = SyntheticCity::new(16, 12, 77);
+    let live = Arc::new(
+        LiveCity::with_log(
+            source.directory().clone(),
+            LiveConfig::default(),
+            &dir,
+            LogOptions::default(),
+        )
+        .expect("logged engine"),
+    );
+    stream(&live, &source);
+    live.finish();
+    let horizon = live.sealed_panes();
+    assert!(horizon >= 8, "workload too small: {horizon} panes");
+
+    // Tiny frame ring: everything below the head frame must come from the
+    // durable log, not the cache.
+    let config = ServeConfig {
+        retain_frames: 2,
+        catchup_batch: 4,
+        ..Default::default()
+    };
+    let hub = ServeHub::over_live(Arc::clone(&live), Some(dir.clone()), config);
+    let mut sub = hub.subscribe(&[LiveQuery::Watermark], true);
+
+    let mut got: Vec<(u64, u64)> = Vec::new(); // (pane, sealed_panes answered)
+    wait_until("from-start catch-up to complete", || {
+        for event in sub.poll() {
+            if let ServeEvent::Frame { frame, .. } = event {
+                let sealed = match frame.answer {
+                    caraoke_suite::live::LiveAnswer::Watermark { sealed_panes, .. } => sealed_panes,
+                    ref other => panic!("unexpected answer {other:?}"),
+                };
+                got.push((frame.pane, sealed));
+            }
+        }
+        sub.caught_up()
+    });
+
+    // Catch-up replayed history pane by pane: every pane below the head
+    // frame appears exactly once, in order, and each reconstructed answer
+    // is evaluated at its own pane horizon.
+    assert!(got.len() >= 8, "{got:?}");
+    for window in got.windows(2) {
+        assert!(window[0].0 < window[1].0, "panes in order: {got:?}");
+    }
+    let (last_pane, _) = *got.last().expect("frames");
+    assert_eq!(last_pane, horizon - 1, "caught up to the head");
+    for &(pane, sealed) in got.iter().take(got.len() - 1) {
+        assert_eq!(
+            sealed,
+            pane + 1,
+            "log-rebuilt answer evaluated at its own horizon"
+        );
+    }
+
+    let stats = hub.stats();
+    assert!(stats.catchup_frames >= 6, "{stats:?}");
+    assert_eq!(stats.missed_frames, 0, "the log covered every gap");
+
+    // Same log, no live engine: a replay hub serves the same head horizon,
+    // and window-query answers are byte-identical to the live engine's.
+    let replay_hub = ServeHub::over_log(
+        &dir,
+        live.config().retain_panes,
+        live.config().pane_us,
+        live.config().store.light_cycle_us,
+        ServeConfig::default(),
+    )
+    .expect("replay hub");
+    let occupancy = LiveQuery::Occupancy {
+        segment: SegmentId(0),
+        window: WindowSpec::tumbling(6_000_000),
+    };
+    let mut replay_sub = replay_hub.subscribe(&[occupancy], false);
+    let events = replay_sub.poll();
+    match events.as_slice() {
+        [ServeEvent::Frame { frame, .. }] => {
+            assert_eq!(frame.pane, horizon - 1);
+            assert_eq!(
+                frame.wire,
+                encode_answer(&live.query(&occupancy)),
+                "replay-served bytes == live bytes at the same pane"
+            );
+        }
+        other => panic!("expected one head frame, got {other:?}"),
+    }
+}
+
+#[test]
+fn subscriber_without_a_log_counts_missed_frames_instead_of_stalling() {
+    let live = Arc::new(hand_driven_city());
+    let config = ServeConfig {
+        retain_frames: 2,
+        max_cursor_lag_panes: u64::MAX,
+        lag_notice_panes: u64::MAX,
+        ..Default::default()
+    };
+    // No log_dir: gaps below the frame ring are unrecoverable by design.
+    let hub = ServeHub::over_live(Arc::clone(&live), None, config);
+    for t in 1..=9u64 {
+        live.ingest(&report_at(t * 1_000_000));
+    }
+    wait_until("9 panes to seal", || live.sealed_panes() == 9);
+
+    let mut sub = hub.subscribe(&[LiveQuery::Watermark], true);
+    wait_until("catch-up to resolve", || {
+        let _ = sub.poll();
+        sub.caught_up()
+    });
+    let stats = hub.stats();
+    assert_eq!(stats.catchup_frames, 0, "no log to rebuild from");
+    assert!(stats.missed_frames > 0, "the gap is reported, not hidden");
+    assert!(!sub.is_dropped());
+}
