@@ -76,7 +76,7 @@ fn logged_run(source: &SyntheticCity, dir: &PathBuf) -> (f64, u64, caraoke_city:
     let elapsed = start.elapsed().as_secs_f64();
     let stats = live.stats();
     assert_eq!(stats.shed_reports, 0, "FIFO delivery must not shed");
-    assert_eq!(stats.log_errors, 0, "the pane log must stay writable");
+    assert_eq!(stats.log_errors_fatal, 0, "the pane log must stay writable");
     assert_eq!(stats.sealed_panes as usize, EPOCHS);
     (
         stats.observations as f64 / elapsed,

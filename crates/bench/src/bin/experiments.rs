@@ -6,7 +6,7 @@
 //! ```text
 //! experiments [all|fig4|fig8|fig11|fig12|fig13|fig14|fig15|fig16|
 //!              table-counting-prob|table-speed-bound|table-power|table-mac|
-//!              sfft|localize2|city|live|serve]
+//!              sfft|localize2|city|live|serve|chaos]
 //!              [--quick]
 //! ```
 //!
@@ -233,6 +233,57 @@ fn main() {
                 &rows
             )
         );
+    }
+
+    if run("chaos") {
+        use caraoke_chaos::{matrix_json, run_matrix, MatrixConfig};
+        let config = MatrixConfig::new(42, quick);
+        let report = run_matrix(&config);
+        let cells = report.cells.len();
+        let failed: Vec<&caraoke_chaos::CellResult> =
+            report.cells.iter().filter(|c| !c.ok).collect();
+        println!(
+            "== chaos scenario matrix ({} topologies x {} scripts = {cells} cells, seed {}) ==",
+            4,
+            cells / 4,
+            report.seed
+        );
+        for cell in &report.cells {
+            println!(
+                "  {:<10} {:<18} {}  accuracy={:.3} shed={} skipped={} cloned={} dead={} retries={} fatal={} cuts={}",
+                cell.topology,
+                cell.script,
+                if cell.ok { "ok  " } else { "FAIL" },
+                cell.accuracy,
+                cell.shed_observations,
+                cell.skipped_reports,
+                cell.cloned_obs,
+                cell.dead_poles,
+                cell.log_retries,
+                cell.log_errors_fatal,
+                cell.cuts,
+            );
+        }
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("CHAOS_matrix.json");
+        std::fs::write(&path, matrix_json(&report)).expect("write CHAOS_matrix.json");
+        println!(
+            "  wrote {} ({} cells, {})",
+            path.display(),
+            cells,
+            if report.ok() { "all green" } else { "FAILURES" }
+        );
+        println!();
+        if !failed.is_empty() {
+            for cell in &failed {
+                eprintln!(
+                    "chaos cell {}/{} failed: {:?}",
+                    cell.topology, cell.script, cell.failures
+                );
+            }
+            std::process::exit(1);
+        }
     }
 
     if run("live") {

@@ -1,0 +1,60 @@
+//! # caraoke-chaos
+//!
+//! Deterministic fault injection and graceful-degradation verification
+//! for the Caraoke stack.
+//!
+//! ```text
+//!               caraoke-sim / caraoke-city      frame sources
+//!                    |
+//!              caraoke-live                     watermarked online engine
+//!                    |            \
+//!              caraoke-log         caraoke-serve
+//!                    \               /
+//!               caraoke-chaos  <- this crate: seeded fault plans,
+//!                                 fault-scripted delivery, log/network
+//!                                 injectors, the scenario matrix
+//! ```
+//!
+//! A deployed city meets failures the paper's evaluation never had to:
+//! poles die and revive, clocks skew, transponders get cloned, delivery
+//! arrives in reordered bursts, disks hiccup and fill, TCP connections
+//! drop mid-frame. This crate makes those failures **reproducible** —
+//! every fault decision is a pure function of a seed via
+//! [`mix_seed`](caraoke_city::synth::mix_seed) — and then verifies the
+//! stack's degradation story *exactly*:
+//!
+//! * [`plan`] — [`FaultPlan`]: a seeded, replayable fault scenario, and
+//!   the [`Script`] catalog of named event scripts;
+//! * [`topology`] — four generated deployment shapes (grid, radial,
+//!   highway corridor, bridge chokepoint) for the matrix rows;
+//! * [`driver`] — [`ChaosDriver`]: single-threaded fault-scripted
+//!   delivery that always preserves per-pole FIFO (the watermark
+//!   contract) while acting out outages, skew, clones and bursts;
+//! * [`faults`] — [`FaultSink`]: a [`WriteFault`](caraoke_log::WriteFault)
+//!   schedule injecting transient bursts and permanent disk-full into the
+//!   pane-log writer, instrumented so no injected error can vanish;
+//! * [`net`] — [`CutProxy`]: a byte-budgeted TCP relay that cuts serve
+//!   connections mid-frame;
+//! * [`matrix`] — the Chameleon-style scenario matrix: topologies x
+//!   scripts, each cell proving chain equality, conservation, counter
+//!   visibility, or recovery exactness against a clean ground-truth run,
+//!   emitted as one structured JSON report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod faults;
+pub mod matrix;
+pub mod net;
+pub mod plan;
+pub mod topology;
+
+pub use driver::{ChaosDriver, DeliveryCounters};
+pub use faults::{FaultCounters, FaultSink};
+pub use matrix::{matrix_json, run_matrix, CellResult, MatrixConfig, MatrixReport};
+pub use net::CutProxy;
+pub use plan::{
+    BurstDelivery, ClockSkew, CloneTags, FaultPlan, KillSpec, LogFaultSpec, PoleOutage, Script,
+};
+pub use topology::Topology;

@@ -1,0 +1,213 @@
+//! Network fault injection: a TCP proxy that cuts connections mid-stream.
+//!
+//! [`CutProxy`] sits between a serve client and a
+//! [`ServeServer`](caraoke_serve::ServeServer), relaying bytes both ways.
+//! Each successive accepted connection gets a **byte budget** from a
+//! configured schedule: once that many server→client bytes have flowed,
+//! both sockets are torn down — typically mid-frame, which is exactly the
+//! failure a [`ReconnectingClient`](caraoke_serve::ReconnectingClient)
+//! must absorb by reconnecting and resuming gap-free. Connections past
+//! the end of the schedule relay without limit, so a test's final
+//! connection always completes.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A byte-budgeted TCP relay for connection-cut injection.
+#[derive(Debug)]
+pub struct CutProxy {
+    addr: SocketAddr,
+    cuts: Arc<AtomicU64>,
+    accepted: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CutProxy {
+    /// Starts the proxy in front of `upstream`. The `n`-th accepted
+    /// connection is cut after `budgets[n]` server→client bytes;
+    /// connections beyond the schedule relay unbounded.
+    pub fn start(upstream: SocketAddr, budgets: Vec<u64>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let cuts = Arc::new(AtomicU64::new(0));
+        let accepted = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let (cuts, accepted, stop) =
+                (Arc::clone(&cuts), Arc::clone(&accepted), Arc::clone(&stop));
+            std::thread::Builder::new()
+                .name("chaos-cut-proxy".into())
+                .spawn(move || accept_loop(listener, upstream, budgets, cuts, accepted, stop))
+                .expect("spawn proxy accept thread")
+        };
+        Ok(Self {
+            addr,
+            cuts,
+            accepted,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections cut so far (budget exhausted).
+    pub fn cuts(&self) -> u64 {
+        self.cuts.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for CutProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    upstream: SocketAddr,
+    budgets: Vec<u64>,
+    cuts: Arc<AtomicU64>,
+    accepted: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut relays = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                let n = accepted.fetch_add(1, Ordering::Relaxed) as usize;
+                let budget = budgets.get(n).copied();
+                let cuts = Arc::clone(&cuts);
+                relays.push(std::thread::spawn(move || {
+                    let _ = relay_connection(client, upstream, budget, &cuts);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+    for relay in relays {
+        let _ = relay.join();
+    }
+}
+
+/// Relays one proxied connection. The client→server direction runs in its
+/// own thread unbounded; the server→client direction is budget-metered
+/// here, and hitting the budget shuts both sockets down hard.
+fn relay_connection(
+    client: TcpStream,
+    upstream: SocketAddr,
+    budget: Option<u64>,
+    cuts: &AtomicU64,
+) -> std::io::Result<()> {
+    let server = TcpStream::connect(upstream)?;
+    let up = {
+        let (mut client_read, mut server_write) = (client.try_clone()?, server.try_clone()?);
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 4096];
+            loop {
+                match client_read.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        if server_write.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            let _ = server_write.shutdown(Shutdown::Both);
+        })
+    };
+    let mut server_read = server.try_clone()?;
+    let mut client_write = client.try_clone()?;
+    let mut remaining = budget;
+    let mut buf = [0u8; 1024];
+    loop {
+        // Small reads so a budget boundary lands *inside* a frame more
+        // often than between frames.
+        let n = match server_read.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let allowed = match remaining.as_mut() {
+            Some(left) => {
+                let take = (n as u64).min(*left) as usize;
+                *left -= take as u64;
+                take
+            }
+            None => n,
+        };
+        if client_write.write_all(&buf[..allowed]).is_err() {
+            break;
+        }
+        if remaining == Some(0) {
+            cuts.fetch_add(1, Ordering::Relaxed);
+            break;
+        }
+    }
+    let _ = client.shutdown(Shutdown::Both);
+    let _ = server.shutdown(Shutdown::Both);
+    let _ = up.join();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    /// Echo server that writes a fixed payload then closes.
+    fn payload_server(payload: Vec<u8>) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut conn) = conn else { break };
+                let payload = payload.clone();
+                std::thread::spawn(move || {
+                    let _ = conn.write_all(&payload);
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn budgeted_connection_is_cut_and_counted() {
+        let upstream = payload_server(vec![7u8; 10_000]);
+        let proxy = CutProxy::start(upstream, vec![1000]).expect("proxy");
+        let mut conn = TcpStream::connect(proxy.addr()).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut got = Vec::new();
+        let _ = conn.read_to_end(&mut got);
+        assert_eq!(got.len(), 1000, "exactly the budget got through");
+        assert_eq!(proxy.cuts(), 1);
+
+        // The next connection is past the schedule: unlimited relay.
+        let mut conn = TcpStream::connect(proxy.addr()).expect("connect 2");
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut got = Vec::new();
+        let _ = conn.read_to_end(&mut got);
+        assert_eq!(got.len(), 10_000);
+        assert_eq!(proxy.cuts(), 1, "no further cuts");
+        assert_eq!(proxy.accepted(), 2);
+    }
+}

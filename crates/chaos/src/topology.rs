@@ -1,0 +1,189 @@
+//! Generated deployment topologies for the scenario matrix.
+//!
+//! [`SyntheticCity`](caraoke_city::SyntheticCity) drives traffic along the
+//! pole *index* order, so a topology here is just a deliberately shaped
+//! [`PoleSite`] sequence: the site positions give ground-truth speeds their
+//! geometry, the segment assignment gives flow/occupancy their buckets, and
+//! the index order defines the route the through traffic takes. Four shapes
+//! cover the deployment regimes the paper's §9 city rollout would meet:
+//!
+//! * [`Topology::Grid`] — a downtown block grid, serpentine route;
+//! * [`Topology::Radial`] — spokes out of a centre (arterials);
+//! * [`Topology::Corridor`] — a highway corridor with widening spacing;
+//! * [`Topology::Bridge`] — two dense clusters joined by a chokepoint,
+//!   so every route funnels through a two-pole bridge segment.
+
+use caraoke_city::{PoleSite, SegmentId};
+use caraoke_geom::Vec3;
+
+/// Pole mounting height used throughout the synthetic layouts, metres.
+const POLE_HEIGHT_M: f64 = 3.8;
+
+/// A named deployment shape for one matrix row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// `cols x rows` street grid, serpentine route, one segment per row.
+    Grid,
+    /// Spokes radiating from a centre; one segment per spoke.
+    Radial,
+    /// A straight highway corridor; spacing widens away from the on-ramp.
+    Corridor,
+    /// Two clusters joined by a narrow bridge segment (the chokepoint).
+    Bridge,
+}
+
+impl Topology {
+    /// Every topology, in matrix-row order.
+    pub fn all() -> [Topology; 4] {
+        [
+            Topology::Grid,
+            Topology::Radial,
+            Topology::Corridor,
+            Topology::Bridge,
+        ]
+    }
+
+    /// Stable name used in the matrix JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Topology::Grid => "grid",
+            Topology::Radial => "radial",
+            Topology::Corridor => "corridor",
+            Topology::Bridge => "bridge",
+        }
+    }
+
+    /// Builds the pole layout. All four shapes produce 16 poles so matrix
+    /// cells are load-comparable across rows.
+    pub fn sites(&self) -> Vec<PoleSite> {
+        match self {
+            Topology::Grid => grid(4, 4),
+            Topology::Radial => radial(8, 2),
+            Topology::Corridor => corridor(16),
+            Topology::Bridge => bridge(7),
+        }
+    }
+}
+
+/// Serpentine walk over a `cols x rows` grid: row 0 left-to-right, row 1
+/// right-to-left, ... so consecutive indices are always street neighbours
+/// (35 m apart along a row, 60 m between rows).
+fn grid(cols: usize, rows: usize) -> Vec<PoleSite> {
+    let mut sites = Vec::with_capacity(cols * rows);
+    for row in 0..rows {
+        for step in 0..cols {
+            let col = if row % 2 == 0 { step } else { cols - 1 - step };
+            sites.push(PoleSite {
+                segment: SegmentId(row as u16),
+                position: Vec3::new(col as f64 * 35.0, row as f64 * 60.0, POLE_HEIGHT_M),
+            });
+        }
+    }
+    sites
+}
+
+/// `spokes` arms of `per_spoke` poles radiating from a centre; the route
+/// walks out one spoke and in the next, so spoke ends join via the centre.
+fn radial(spokes: usize, per_spoke: usize) -> Vec<PoleSite> {
+    let mut sites = Vec::with_capacity(spokes * per_spoke);
+    for spoke in 0..spokes {
+        let angle = spoke as f64 / spokes as f64 * std::f64::consts::TAU;
+        for step in 0..per_spoke {
+            // Odd spokes are walked inward so consecutive indices stay
+            // adjacent (out the even spoke, back in the odd one).
+            let k = if spoke % 2 == 0 {
+                step
+            } else {
+                per_spoke - 1 - step
+            };
+            let r = 30.0 + k as f64 * 30.0;
+            sites.push(PoleSite {
+                segment: SegmentId(spoke as u16),
+                position: Vec3::new(r * angle.cos(), r * angle.sin(), POLE_HEIGHT_M),
+            });
+        }
+    }
+    sites
+}
+
+/// A straight highway corridor: spacing grows from 25 m (ramp metering)
+/// to 55 m (open road), split into two segments at the midpoint.
+fn corridor(n: usize) -> Vec<PoleSite> {
+    let mut x = 0.0;
+    (0..n)
+        .map(|i| {
+            x += 25.0 + (i as f64 / n as f64) * 30.0;
+            PoleSite {
+                segment: SegmentId(if i < n / 2 { 0 } else { 1 }),
+                position: Vec3::new(x, -5.0, POLE_HEIGHT_M),
+            }
+        })
+        .collect()
+}
+
+/// Two `n_each`-pole clusters joined by a two-pole bridge: indices run
+/// cluster A -> bridge -> cluster B, so every through vehicle crosses the
+/// chokepoint segment. Cluster poles sit 30 m apart; the bridge spans 120 m.
+fn bridge(n_each: usize) -> Vec<PoleSite> {
+    let mut sites = Vec::with_capacity(2 * n_each + 2);
+    for i in 0..n_each {
+        sites.push(PoleSite {
+            segment: SegmentId(0),
+            position: Vec3::new(i as f64 * 30.0, 0.0, POLE_HEIGHT_M),
+        });
+    }
+    let bridge_x = n_each as f64 * 30.0;
+    for i in 0..2 {
+        sites.push(PoleSite {
+            segment: SegmentId(1),
+            position: Vec3::new(bridge_x + 40.0 + i as f64 * 40.0, 0.0, POLE_HEIGHT_M),
+        });
+    }
+    for i in 0..n_each {
+        sites.push(PoleSite {
+            segment: SegmentId(2),
+            position: Vec3::new(
+                bridge_x + 120.0 + 30.0 + i as f64 * 30.0,
+                0.0,
+                POLE_HEIGHT_M,
+            ),
+        });
+    }
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_topology_has_sixteen_poles_and_multiple_segments() {
+        for topo in Topology::all() {
+            let sites = topo.sites();
+            assert_eq!(sites.len(), 16, "{}", topo.name());
+            let segments: std::collections::BTreeSet<u16> =
+                sites.iter().map(|s| s.segment.0).collect();
+            assert!(segments.len() >= 2, "{} is one flat segment", topo.name());
+        }
+    }
+
+    #[test]
+    fn consecutive_poles_are_route_neighbours() {
+        // The traffic model moves one index per epoch; hops must stay in a
+        // plausible drive range or ground-truth speeds go haywire.
+        for topo in Topology::all() {
+            let sites = topo.sites();
+            for pair in sites.windows(2) {
+                let d = (pair[1].position - pair[0].position).norm();
+                assert!((20.0..=130.0).contains(&d), "{}: {d:.1} m hop", topo.name());
+            }
+        }
+    }
+
+    #[test]
+    fn bridge_chokepoint_is_its_own_segment() {
+        let sites = Topology::Bridge.sites();
+        let bridge: Vec<_> = sites.iter().filter(|s| s.segment.0 == 1).collect();
+        assert_eq!(bridge.len(), 2, "two-pole chokepoint");
+    }
+}

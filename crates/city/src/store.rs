@@ -1259,6 +1259,77 @@ mod tests {
     }
 
     #[test]
+    fn cloned_tag_oscillating_between_distant_poles_pins_one_od() {
+        // Two *cloned* transponders share one tag id and sit at poles 0 and
+        // 3 (90 m apart) simultaneously. The interleaved sightings look like
+        // a single tag teleporting back and forth; ping-pong suppression and
+        // the plausibility cut must keep the derived analytics sane.
+        let store = ShardedStore::new(line_directory(4, 30.0), StoreConfig::default());
+        for &(pole, t_us) in &[
+            (0u32, 0u64),
+            (3, 500_000),
+            (0, 1_000_000),
+            (3, 1_500_000),
+            (0, 2_000_000),
+        ] {
+            store.scatter(&report(pole, 0, t_us, vec![obs(13, pole, 0, t_us)]));
+        }
+        let agg = store.finalize(2);
+        assert_eq!(agg.observations, 5);
+        // Only the first 0 -> 3 transition counts: every bounce back to the
+        // previous pole is ping-pong-suppressed, so the clone pair cannot
+        // inflate OD matrices however long it oscillates.
+        assert_eq!(agg.od.total(), 1, "clone oscillation must not multiply OD");
+        // 90 m in 0.5 s is ~400 mph: the plausibility cut discards every
+        // clone-induced teleport, so no speed sample survives.
+        assert_eq!(agg.speeds.samples(), 0, "teleport speeds must be culled");
+        assert_eq!(store.distinct_tags(), 1);
+    }
+
+    #[test]
+    fn cloned_decodes_from_distinct_bins_merge_onto_one_identity() {
+        use caraoke_phy::TransponderId;
+        // Two clones of transponder 77 have *different* CFO signatures
+        // (different hardware, different oscillator offsets). Each clone's
+        // first decode upgrades its own bin onto the same decoded key, so
+        // the pair collapses into one tracked identity — with the upgrade
+        // and hit counters exposing exactly what happened.
+        let dir = line_directory(4, 30.0);
+        let config = StoreConfig::default();
+        let mut tracker = TagTracker::new();
+        let mut od = 0usize;
+        let mut speeds = 0usize;
+        let bin_a = TagKey::from_cfo_bin(10).0;
+        let bin_b = TagKey::from_cfo_bin(20).0;
+        let mut drive = |raw: u64, pole: u32, t_us: u64, decode: bool| {
+            let mut o = obs(raw, pole, 0, t_us);
+            if decode {
+                o.decoded = Some(TransponderId(77));
+            }
+            tracker.apply(&o, &dir, &config, |event| match event {
+                DerivedEvent::Od { .. } => od += 1,
+                DerivedEvent::Speed { .. } => speeds += 1,
+                DerivedEvent::Flow { .. } => {}
+            });
+        };
+        drive(bin_a, 0, 0, false); // clone A tracked under its CFO bin
+        drive(bin_a, 0, 100_000, true); // A decodes: bin A -> id 77
+        drive(bin_b, 2, 200_000, true); // clone B decodes: bin B -> id 77
+        drive(bin_b, 2, 300_000, false); // alias hit for B's bin
+        drive(bin_a, 0, 400_000, false); // alias hit, ping-pong suppressed
+        let stats = tracker.alias_stats();
+        assert_eq!(stats.decode_upgrades, 2, "each clone's bin upgrades once");
+        assert_eq!(stats.alias_collisions, 0, "same id: no collision recorded");
+        assert_eq!(stats.alias_hits, 2);
+        assert_eq!(tracker.distinct_tags(), 1, "clone pair merges into one");
+        // The merged identity "moved" 0 -> 2 once (60 m in 0.2 s is far past
+        // the plausibility cut, so no speed), then bounced straight back —
+        // suppressed as ping-pong.
+        assert_eq!(od, 1);
+        assert_eq!(speeds, 0);
+    }
+
+    #[test]
     fn aggregates_are_identical_for_any_shard_count_and_delivery_order() {
         // Fixed synthetic observation set: 60 tags random-walking over 12
         // poles for 20 epochs.

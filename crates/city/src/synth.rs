@@ -98,6 +98,15 @@ impl SyntheticCity {
                 }
             })
             .collect();
+        Self::with_sites(sites, epochs, seed)
+    }
+
+    /// Builds a city over an explicit pole layout — arbitrary topologies
+    /// (grids, radial rings, corridors, chokepoints) instead of the default
+    /// ring. The traffic model is unchanged: through vehicles advance one
+    /// pole *index* per epoch, so the site order defines the route, and
+    /// every frame stays a pure function of `(seed, pole, epoch)`.
+    pub fn with_sites(sites: Vec<PoleSite>, epochs: usize, seed: u64) -> Self {
         Self {
             directory: PoleDirectory::new(sites),
             epochs,

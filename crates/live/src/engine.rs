@@ -113,6 +113,11 @@ pub struct LiveConfig {
     /// [`compact_idle_us`](Self::compact_idle_us) is set. Sweeping every pane
     /// would be O(tags) per pane; the default of 64 amortises it.
     pub compact_every_panes: u64,
+    /// Retry policy for pane-log writes (see [`LogRetryPolicy`]). Transient
+    /// errors are retried with bounded exponential backoff *under the sealed
+    /// lock* — durability-before-visibility holds across retries — before
+    /// the sink latches failed; fatal errors latch immediately.
+    pub log_retry: LogRetryPolicy,
 }
 
 impl Default for LiveConfig {
@@ -126,8 +131,73 @@ impl Default for LiveConfig {
             max_pane_staleness: None,
             compact_idle_us: None,
             compact_every_panes: 64,
+            log_retry: LogRetryPolicy::default(),
         }
     }
+}
+
+/// Bounded exponential-backoff retry for pane-log writes.
+///
+/// The sealer classifies write errors by [`io::ErrorKind`]:
+/// `Interrupted`, `WouldBlock` and `TimedOut` are **transient** — the kind
+/// of hiccup a loaded disk or interrupted syscall produces — and are
+/// retried up to [`max_attempts`](Self::max_attempts) total tries with
+/// exponentially growing sleeps. Everything else (permissions, disk full,
+/// closed descriptors) is **fatal**: the sink latches failed immediately,
+/// sealing continues without durability, and
+/// [`LiveCity::reattach_log`] can restore it to a fresh directory.
+///
+/// Retried appends assume the failed attempt wrote nothing — true for
+/// injected faults (checked before any I/O) and for buffered writes that
+/// fail at flush; a torn tail from a genuine partial write is repaired by
+/// recovery's truncation, never by in-process retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogRetryPolicy {
+    /// Total tries per logical write (first attempt + retries); `0` acts
+    /// as `1` (no retry).
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for LogRetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl LogRetryPolicy {
+    /// No retries: the first error of any kind latches the sink (the
+    /// pre-retry behaviour).
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// The sleep before retry number `retry` (0-based), capped at
+    /// [`max_backoff`](Self::max_backoff).
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u32.checked_shl(retry.min(16)).unwrap_or(u32::MAX);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
+
+/// Is this I/O error worth retrying?
+fn transient_io_error(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 /// What happened to one ingested report.
@@ -174,10 +244,20 @@ pub struct LiveStats {
     /// [`LiveCity::declare_pole_dead`] (survives recovery: the log
     /// records each declaration).
     pub dead_poles: u64,
-    /// Pane-log write failures. Nonzero means the engine kept sealing but
-    /// stopped appending (liveness over durability); the log on disk is
-    /// intact up to the failure point.
-    pub log_errors: u64,
+    /// Pane-log writes retried after a transient error (each re-attempt
+    /// counts once). Nonzero with `log_errors_fatal == 0` means the disk
+    /// hiccupped but durability held.
+    pub log_retries: u64,
+    /// Transient pane-log write errors observed (`Interrupted`,
+    /// `WouldBlock`, `TimedOut`) — retried per
+    /// [`LiveConfig::log_retry`], so each may or may not have cost
+    /// durability.
+    pub log_errors_transient: u64,
+    /// Fatal pane-log failures: a non-transient error, or transient retries
+    /// exhausted. Each latches the sink — the engine keeps sealing but
+    /// stops appending (liveness over durability; the log on disk stays a
+    /// valid prefix) until [`LiveCity::reattach_log`] installs a fresh log.
+    pub log_errors_fatal: u64,
     /// Tags evicted by idle-tag compaction
     /// ([`LiveConfig::compact_idle_us`]), summed over shards.
     pub compacted_tags: u64,
@@ -303,8 +383,21 @@ struct LogSink {
     snapshot_every: u64,
     /// `next_pane` as of the last snapshot (or engine start).
     last_snapshot_pane: u64,
-    /// Set on the first write error: sealing continues, appends stop.
+    /// Set on the first fatal write error (or exhausted retries): sealing
+    /// continues, appends stop, until `reattach_log` replaces the sink.
     failed: bool,
+}
+
+impl LogSink {
+    fn new(writer: SegmentWriter, last_snapshot_pane: u64) -> Self {
+        let snapshot_every = writer.options().snapshot_every_panes;
+        Self {
+            writer,
+            snapshot_every,
+            last_snapshot_pane,
+            failed: false,
+        }
+    }
 }
 
 /// What the ingest side tells the sealer thread.
@@ -357,10 +450,13 @@ struct LiveCore {
     forced_panes: AtomicU64,
     forced_pole_misses: AtomicU64,
     dead_poles: AtomicU64,
-    log_errors: AtomicU64,
+    log_retries: AtomicU64,
+    log_errors_transient: AtomicU64,
+    log_errors_fatal: AtomicU64,
     compacted_tags: AtomicU64,
-    /// Durable pane log, if this engine was built with one.
-    log: Option<Mutex<LogSink>>,
+    /// Durable pane log. `None` until the engine is built with one (or one
+    /// is installed later via [`LiveCity::reattach_log`]).
+    log: Mutex<Option<LogSink>>,
 }
 
 /// The online city engine. See the module docs for the architecture and
@@ -386,22 +482,34 @@ impl LiveCity {
     /// [`recover`](Self::recover)ed at the first unsealed pane. `log_dir`
     /// must not already hold a caraoke log.
     ///
-    /// A log write failure never stalls sealing: the engine counts it
-    /// ([`LiveStats::log_errors`]), stops appending, and keeps serving.
+    /// A log write failure never stalls sealing: transient errors retry
+    /// per [`LiveConfig::log_retry`]; a fatal error (or exhausted retries)
+    /// is counted ([`LiveStats::log_errors_fatal`]), appends stop, and the
+    /// engine keeps serving until [`reattach_log`](Self::reattach_log)
+    /// restores durability.
     pub fn with_log(
         directory: PoleDirectory,
         config: LiveConfig,
         log_dir: impl AsRef<Path>,
         opts: LogOptions,
     ) -> io::Result<Self> {
-        let writer = SegmentWriter::create(log_dir, opts)?;
-        let sink = LogSink {
-            writer,
-            snapshot_every: opts.snapshot_every_panes,
-            last_snapshot_pane: 0,
-            failed: false,
-        };
-        Ok(Self::assemble(directory, config, Some(sink), None))
+        Ok(Self::with_log_writer(
+            directory,
+            config,
+            SegmentWriter::create(log_dir, opts)?,
+        ))
+    }
+
+    /// Like [`with_log`](Self::with_log), but over a caller-built
+    /// [`SegmentWriter`] — the hook fault-injection harnesses use to hand
+    /// the engine a writer with a
+    /// [`WriteFault`](caraoke_log::WriteFault) schedule installed.
+    pub fn with_log_writer(
+        directory: PoleDirectory,
+        config: LiveConfig,
+        writer: SegmentWriter,
+    ) -> Self {
+        Self::assemble(directory, config, Some(LogSink::new(writer, 0)), None)
     }
 
     /// Rebuilds an engine from the pane log a [`with_log`](Self::with_log)
@@ -425,13 +533,47 @@ impl LiveCity {
         let shards = config.store.shards.max(1);
         let state = recover_state(&log_dir, shards, config.retain_panes)?;
         let writer = SegmentWriter::open_for_append(&log_dir, opts, state.next_pane)?;
-        let sink = LogSink {
-            writer,
-            snapshot_every: opts.snapshot_every_panes,
-            last_snapshot_pane: state.next_pane,
-            failed: false,
-        };
+        let sink = LogSink::new(writer, state.next_pane);
         Ok(Self::assemble(directory, config, Some(sink), Some(state)))
+    }
+
+    /// Installs a fresh pane log on a running engine — the recovery path
+    /// for a fatal log failure ([`LiveStats::log_errors_fatal`]), and the
+    /// way to add durability to an engine built without a log. Holding the
+    /// sealed lock, the engine's complete current state (totals, chain,
+    /// trackers, dead poles, forced-seal counters) is written into `writer`
+    /// as a snapshot record and fsynced; every pane sealed afterwards
+    /// appends to the new log. The resulting log recovers and replays like
+    /// any snapshot-headed log: [`recover`](Self::recover) on its
+    /// directory resumes exactly where this engine is now.
+    ///
+    /// Replaces any existing sink (healthy or failed); the old writer is
+    /// flushed and dropped. Fails — leaving the engine unchanged — if the
+    /// snapshot cannot be made durable in the new writer.
+    pub fn reattach_log(&self, mut writer: SegmentWriter) -> io::Result<()> {
+        let core = &*self.core;
+        let mut sealed = core.sealed.lock().expect("sealed state");
+        let state = &mut *sealed;
+        // Engines built without a log never traced tracker deltas; turn
+        // tracing on so post-snapshot panes carry them. Safe mid-run: delta
+        // sets are drained every sealed pane, and we hold the sealed lock.
+        for tracker in &mut state.trackers {
+            tracker.set_trace(true);
+        }
+        let snap = SnapshotRecord {
+            next_pane: state.next_pane,
+            chain: state.chain.finish(),
+            forced_panes: core.forced_panes.load(Ordering::Relaxed),
+            forced_pole_misses: core.forced_pole_misses.load(Ordering::Relaxed),
+            dead_poles: core.clock.dead_poles(),
+            total: state.total.clone(),
+            trackers: state.trackers.iter().map(TagTracker::export).collect(),
+        };
+        writer.append_snapshot(&snap)?;
+        let sink = LogSink::new(writer, state.next_pane);
+        // Lock order matches the sealer (sealed → log), so no deadlock.
+        *core.log.lock().expect("log sink") = Some(sink);
+        Ok(())
     }
 
     /// Shared constructor: fresh or recovered state, with or without a
@@ -514,9 +656,11 @@ impl LiveCity {
             forced_panes: AtomicU64::new(forced_panes),
             forced_pole_misses: AtomicU64::new(forced_pole_misses),
             dead_poles: AtomicU64::new(dead_poles),
-            log_errors: AtomicU64::new(0),
+            log_retries: AtomicU64::new(0),
+            log_errors_transient: AtomicU64::new(0),
+            log_errors_fatal: AtomicU64::new(0),
             compacted_tags: AtomicU64::new(0),
-            log: log.map(Mutex::new),
+            log: Mutex::new(log),
             directory,
             config,
         });
@@ -550,17 +694,11 @@ impl LiveCity {
             return false;
         }
         core.dead_poles.fetch_add(1, Ordering::Relaxed);
-        if let Some(log) = &core.log {
-            let mut sink = log.lock().expect("log sink");
-            if !sink.failed {
-                let result = sink
-                    .writer
-                    .append_dead_pole(pole.0)
-                    .and_then(|()| sink.writer.commit_seal());
-                if let Err(err) = result {
-                    sink.failed = true;
-                    core.log_errors.fetch_add(1, Ordering::Relaxed);
-                    eprintln!("caraoke-live: pane log write failed; appends disabled: {err}");
+        {
+            let mut guard = core.log.lock().expect("log sink");
+            if let Some(sink) = guard.as_mut() {
+                if core.log_write(sink, "dead-pole append", |w| w.append_dead_pole(pole.0)) {
+                    core.log_write(sink, "dead-pole commit", |w| w.commit_seal());
                 }
             }
         }
@@ -709,7 +847,9 @@ impl LiveCity {
             forced_pole_misses: core.forced_pole_misses.load(Ordering::Relaxed),
             worker_slots,
             dead_poles: core.dead_poles.load(Ordering::Relaxed),
-            log_errors: core.log_errors.load(Ordering::Relaxed),
+            log_retries: core.log_retries.load(Ordering::Relaxed),
+            log_errors_transient: core.log_errors_transient.load(Ordering::Relaxed),
+            log_errors_fatal: core.log_errors_fatal.load(Ordering::Relaxed),
             compacted_tags: core.compacted_tags.load(Ordering::Relaxed),
             alias,
         }
@@ -876,6 +1016,49 @@ impl LiveCore {
             }
         }
         IngestOutcome::Applied
+    }
+
+    /// Runs one logical pane-log write with the configured bounded
+    /// exponential-backoff retry. Transient errors (see
+    /// [`transient_io_error`]) sleep and retry up to
+    /// `log_retry.max_attempts` total tries; anything else — or exhausted
+    /// retries — latches the sink failed. Returns whether the write landed.
+    /// A no-op returning `false` when the sink is already failed.
+    fn log_write(
+        &self,
+        sink: &mut LogSink,
+        what: &str,
+        mut op: impl FnMut(&mut SegmentWriter) -> io::Result<()>,
+    ) -> bool {
+        if sink.failed {
+            return false;
+        }
+        let policy = self.config.log_retry;
+        let attempts = policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            match op(&mut sink.writer) {
+                Ok(()) => return true,
+                Err(err) if transient_io_error(&err) && attempt + 1 < attempts => {
+                    self.log_errors_transient.fetch_add(1, Ordering::Relaxed);
+                    self.log_retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt += 1;
+                }
+                Err(err) => {
+                    if transient_io_error(&err) {
+                        self.log_errors_transient.fetch_add(1, Ordering::Relaxed);
+                    }
+                    sink.failed = true;
+                    self.log_errors_fatal.fetch_add(1, Ordering::Relaxed);
+                    eprintln!(
+                        "caraoke-live: pane log {what} failed; \
+                         appends disabled until reattach_log: {err}"
+                    );
+                    return false;
+                }
+            }
+        }
     }
 
     /// Raises the sealer's target and wakes it. Called once per watermark
@@ -1110,24 +1293,26 @@ impl LiveCore {
             state.total.merge(&agg);
             // Durability before visibility: the pane record (and any due
             // snapshot) is appended while we still hold the sealed lock,
-            // before the pane enters the ring or moves the seal floor. A
-            // write failure flips the sink to failed — sealing continues,
-            // appends stop (liveness over durability), and the log on disk
-            // stays a valid prefix.
-            if let Some(log) = &self.log {
-                let chain_now = state.chain.finish();
-                let deltas: Vec<TrackerDelta> = state
-                    .trackers
-                    .iter_mut()
-                    .map(TagTracker::take_delta)
-                    .collect();
-                let mut sink = log.lock().expect("log sink");
-                if !sink.failed {
-                    let due_snapshot = sink.snapshot_every > 0
-                        && pane + 1 >= sink.last_snapshot_pane + sink.snapshot_every;
-                    let result = sink
-                        .writer
-                        .append_pane(
+            // before the pane enters the ring or moves the seal floor.
+            // Transient write errors retry in place (still under the lock,
+            // so visibility keeps waiting on durability); a fatal error
+            // flips the sink to failed — sealing continues, appends stop
+            // (liveness over durability), and the log on disk stays a
+            // valid prefix until `reattach_log`.
+            {
+                let mut guard = self.log.lock().expect("log sink");
+                if let Some(sink) = guard.as_mut() {
+                    let chain_now = state.chain.finish();
+                    let deltas: Vec<TrackerDelta> = state
+                        .trackers
+                        .iter_mut()
+                        .map(TagTracker::take_delta)
+                        .collect();
+                    // Pane and snapshot retry as *separate* logical writes:
+                    // a transient snapshot failure must not re-append the
+                    // (already written) pane record.
+                    let pane_ok = self.log_write(sink, "pane append", |w| {
+                        w.append_pane(
                             pane,
                             forced,
                             pole_misses,
@@ -1136,26 +1321,22 @@ impl LiveCore {
                             &agg,
                             &deltas,
                         )
-                        .and_then(|()| {
-                            if !due_snapshot {
-                                return Ok(());
-                            }
+                    });
+                    let due_snapshot = sink.snapshot_every > 0
+                        && pane + 1 >= sink.last_snapshot_pane + sink.snapshot_every;
+                    if pane_ok && due_snapshot {
+                        let snap = SnapshotRecord {
+                            next_pane: pane + 1,
+                            chain: chain_now,
+                            forced_panes: self.forced_panes.load(Ordering::Relaxed),
+                            forced_pole_misses: self.forced_pole_misses.load(Ordering::Relaxed),
+                            dead_poles: self.clock.dead_poles(),
+                            total: state.total.clone(),
+                            trackers: state.trackers.iter().map(TagTracker::export).collect(),
+                        };
+                        if self.log_write(sink, "snapshot append", |w| w.append_snapshot(&snap)) {
                             sink.last_snapshot_pane = pane + 1;
-                            let snap = SnapshotRecord {
-                                next_pane: pane + 1,
-                                chain: chain_now,
-                                forced_panes: self.forced_panes.load(Ordering::Relaxed),
-                                forced_pole_misses: self.forced_pole_misses.load(Ordering::Relaxed),
-                                dead_poles: self.clock.dead_poles(),
-                                total: state.total.clone(),
-                                trackers: state.trackers.iter().map(TagTracker::export).collect(),
-                            };
-                            sink.writer.append_snapshot(&snap)
-                        });
-                    if let Err(err) = result {
-                        sink.failed = true;
-                        self.log_errors.fetch_add(1, Ordering::Relaxed);
-                        eprintln!("caraoke-live: pane log write failed; appends disabled: {err}");
+                        }
                     }
                 }
             }
@@ -1167,14 +1348,10 @@ impl LiveCore {
         // One fsync-policy commit per seal batch, still under the sealed
         // lock: every pane above is durable (per policy) before any query
         // can observe it.
-        if let Some(log) = &self.log {
-            let mut sink = log.lock().expect("log sink");
-            if !sink.failed {
-                if let Err(err) = sink.writer.commit_seal() {
-                    sink.failed = true;
-                    self.log_errors.fetch_add(1, Ordering::Relaxed);
-                    eprintln!("caraoke-live: pane log commit failed; appends disabled: {err}");
-                }
+        {
+            let mut guard = self.log.lock().expect("log sink");
+            if let Some(sink) = guard.as_mut() {
+                self.log_write(sink, "seal commit", |w| w.commit_seal());
             }
         }
         debug_assert_eq!(idx, scratch.len(), "every drained observation sealed");
@@ -1471,7 +1648,7 @@ mod tests {
         live.finish();
         let chain = live.fingerprint_chain();
         let totals = live.totals();
-        assert_eq!(live.stats().log_errors, 0);
+        assert_eq!(live.stats().log_errors_fatal, 0);
         drop(live);
         let replay = caraoke_log::LogCity::open(&dir)
             .replay()
@@ -1525,7 +1702,7 @@ mod tests {
         recovered.finish();
         assert_eq!(recovered.fingerprint_chain(), ref_chain);
         assert_eq!(recovered.totals(), ref_totals);
-        assert_eq!(recovered.stats().log_errors, 0);
+        assert_eq!(recovered.stats().log_errors_fatal, 0);
         drop(recovered);
         // The stitched log replays to the same chain, too.
         let replay = caraoke_log::LogCity::open(&dir)

@@ -102,7 +102,7 @@ pub mod watermark;
 pub mod window;
 
 pub use driver::{Interleaving, LiveDriver, LiveRun};
-pub use engine::{IngestOutcome, LiveCity, LiveConfig, LiveStats};
+pub use engine::{IngestOutcome, LiveCity, LiveConfig, LiveStats, LogRetryPolicy};
 pub use query::{
     answer_windowed, LiveAnswer, LiveQuery, LiveSnapshot, LiveSubscription, PaneSummary,
 };

@@ -57,4 +57,4 @@ pub mod segment;
 pub use codec::{LogRecord, PaneRecord, SnapshotRecord};
 pub use reader::{LogError, LogReader, RecordCursor};
 pub use replay::{recover_state, LogCity, LogReplay, RecoveredState};
-pub use segment::{FsyncPolicy, LogOptions, SegmentWriter};
+pub use segment::{FsyncPolicy, IoOp, LogOptions, SegmentWriter, WriteFault};

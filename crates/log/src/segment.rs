@@ -70,8 +70,31 @@ impl Default for LogOptions {
     }
 }
 
+/// The writer I/O operation a [`WriteFault`] injector is consulted about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoOp {
+    /// Appending one framed record (pane, snapshot, or dead-pole payload).
+    Append,
+    /// Opening a fresh segment file (size rotation or snapshot rotation).
+    Rotate,
+    /// Flushing / fsyncing the active segment (seal commit, shutdown).
+    Sync,
+}
+
+/// A fault-injection hook consulted *before* each writer I/O. Returning
+/// `Some(err)` makes the writer fail with that error instead of touching
+/// the disk, so an injected failure never leaves a torn record behind —
+/// retrying the same append after a transient injected error is safe.
+///
+/// Injectors are deterministic by construction when their decisions depend
+/// only on the `(op, pane)` call sequence, which is what the chaos layer's
+/// seeded schedules rely on.
+pub trait WriteFault: Send {
+    /// Decide whether the writer's next `op` (headed for `pane`) fails.
+    fn check(&mut self, op: IoOp, pane: u64) -> Option<io::Error>;
+}
+
 /// Appends framed records to size-rotated segments under one directory.
-#[derive(Debug)]
 pub struct SegmentWriter {
     dir: PathBuf,
     opts: LogOptions,
@@ -82,6 +105,22 @@ pub struct SegmentWriter {
     seals_since_sync: u32,
     /// Naming hint for the next rotation: the first pane it could contain.
     next_pane_hint: u64,
+    /// Optional fault injector consulted before every record/rotate/sync.
+    fault: Option<Box<dyn WriteFault>>,
+}
+
+impl std::fmt::Debug for SegmentWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentWriter")
+            .field("dir", &self.dir)
+            .field("opts", &self.opts)
+            .field("segments", &self.segments)
+            .field("current_bytes", &self.current_bytes)
+            .field("seals_since_sync", &self.seals_since_sync)
+            .field("next_pane_hint", &self.next_pane_hint)
+            .field("fault", &self.fault.as_ref().map(|_| "injected"))
+            .finish()
+    }
 }
 
 impl SegmentWriter {
@@ -107,6 +146,7 @@ impl SegmentWriter {
             current_bytes: 0,
             seals_since_sync: 0,
             next_pane_hint: 0,
+            fault: None,
         };
         writer.start_segment(0)?;
         Ok(writer)
@@ -147,6 +187,7 @@ impl SegmentWriter {
             current_bytes: 0,
             seals_since_sync: 0,
             next_pane_hint: next_pane,
+            fault: None,
         };
         writer.start_segment(next_pane)?;
         Ok(writer)
@@ -155,6 +196,28 @@ impl SegmentWriter {
     /// The log directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The options this writer was opened with.
+    pub fn options(&self) -> LogOptions {
+        self.opts
+    }
+
+    /// Installs (or clears) a fault injector. Subsequent appends,
+    /// rotations, and syncs consult it first; injected errors surface to
+    /// the caller exactly like real I/O errors. Installed *after* the
+    /// writer is open, so startup segment creation is never injected.
+    pub fn set_fault_injector(&mut self, fault: Option<Box<dyn WriteFault>>) {
+        self.fault = fault;
+    }
+
+    fn fault_check(&mut self, op: IoOp, pane: u64) -> io::Result<()> {
+        if let Some(fault) = self.fault.as_mut() {
+            if let Some(err) = fault.check(op, pane) {
+                return Err(err);
+            }
+        }
+        Ok(())
     }
 
     /// Live segment file names, oldest first.
@@ -220,6 +283,7 @@ impl SegmentWriter {
     /// Marks the end of one seal batch: flushes the buffered writer and
     /// applies the fsync policy.
     pub fn commit_seal(&mut self) -> io::Result<()> {
+        self.fault_check(IoOp::Sync, self.next_pane_hint)?;
         self.file.flush()?;
         match self.opts.fsync {
             FsyncPolicy::EverySeal => {
@@ -240,6 +304,7 @@ impl SegmentWriter {
 
     /// Flushes and fsyncs unconditionally (shutdown path).
     pub fn sync(&mut self) -> io::Result<()> {
+        self.fault_check(IoOp::Sync, self.next_pane_hint)?;
         self.file.flush()?;
         self.file.get_ref().sync_data()?;
         self.seals_since_sync = 0;
@@ -247,6 +312,7 @@ impl SegmentWriter {
     }
 
     fn write_record(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.fault_check(IoOp::Append, self.next_pane_hint)?;
         let len = payload.len() as u32;
         let crc = codec::crc32(payload);
         self.file.write_all(&len.to_le_bytes())?;
@@ -269,6 +335,7 @@ impl SegmentWriter {
     }
 
     fn start_segment(&mut self, first_pane: u64) -> io::Result<()> {
+        self.fault_check(IoOp::Rotate, first_pane)?;
         let mut name = format!("seg-{first_pane:020}.calog");
         let mut suffix = 0u32;
         while self.dir.join(&name).exists() {

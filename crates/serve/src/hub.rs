@@ -597,6 +597,22 @@ impl Subscription {
         self.entries.len() - 1
     }
 
+    /// Like [`add_query`](Self::add_query), but starting the cursor at an
+    /// explicit pane — the resume path for a reconnecting subscriber that
+    /// already consumed everything below `from_pane`. Panes between
+    /// `from_pane` and the head are rebuilt from the pane log exactly like
+    /// any lagging cursor, so the resumed stream is gap-free.
+    pub fn add_query_from(&mut self, query: &LiveQuery, from_pane: u64) -> usize {
+        let chan = self.hub.register_query(query);
+        self.entries.push(SubEntry {
+            chan,
+            cursor: from_pane,
+            attach_next: false,
+            follower: None,
+        });
+        self.entries.len() - 1
+    }
+
     /// Worst cursor lag across this subscription's queries, panes.
     pub fn behind_panes(&self) -> u64 {
         self.entries

@@ -55,7 +55,7 @@ pub mod wire;
 
 pub use eval::LogFollower;
 pub use hub::{FrameKind, PaneFrame, ServeConfig, ServeEvent, ServeHub, ServeStats, Subscription};
-pub use tcp::{ServeClient, ServeServer};
+pub use tcp::{Backoff, ClientRead, ReconnectingClient, ServeClient, ServeServer};
 pub use wire::{
     decode_answer, decode_frame, decode_query, encode_answer, encode_frame, encode_query,
     read_frame, write_frame, Frame, WIRE_VERSION,

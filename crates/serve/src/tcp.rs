@@ -254,10 +254,17 @@ fn connection_loop(
             TickRead::Frame(Frame::Subscribe {
                 sub_id,
                 from_start,
+                from_pane,
                 query,
             }) => {
                 let sub = subscription.get_or_insert_with(|| hub.subscribe(&[], false));
-                sub.add_query(&query, from_start);
+                match from_pane {
+                    // Resume: a reconnecting client continues from the pane
+                    // after the last one it consumed; the gap (if any) is
+                    // rebuilt from the pane log like any lagging cursor.
+                    Some(pane) => sub.add_query_from(&query, pane),
+                    None => sub.add_query(&query, from_start),
+                };
                 sub_ids.push(sub_id);
             }
             TickRead::Frame(Frame::Ack { count }) => {
@@ -318,6 +325,51 @@ fn connection_loop(
     Ok(())
 }
 
+/// Bounded exponential backoff for (re)connect attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Total connection attempts (first try + retries); `0` acts as `1`.
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles per subsequent retry.
+    pub base: Duration,
+    /// Upper bound on any single sleep.
+    pub max: Duration,
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Self {
+            max_attempts: 5,
+            base: Duration::from_millis(10),
+            max: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Backoff {
+    /// The sleep before retry number `retry` (0-based), capped at
+    /// [`max`](Self::max).
+    pub fn delay(&self, retry: u32) -> Duration {
+        let factor = 1u32.checked_shl(retry.min(16)).unwrap_or(u32::MAX);
+        self.base.saturating_mul(factor).min(self.max)
+    }
+}
+
+/// What one [`ServeClient::poll_frame`] attempt produced — unlike
+/// [`ServeClient::next_frame`]'s `Option`, this distinguishes a timeout
+/// (connection healthy, nothing arrived) from a server close, which is
+/// what a reconnecting consumer needs to know.
+#[derive(Debug)]
+pub enum ClientRead {
+    /// A whole frame arrived (snapshot/delta frames already acked).
+    Frame(Frame),
+    /// The deadline passed with no complete frame; partial bytes are
+    /// buffered and the next call resumes mid-frame.
+    Timeout,
+    /// The server closed cleanly at a frame boundary.
+    Closed,
+}
+
 /// A TCP subscriber: connects, subscribes, and consumes frames with
 /// automatic acknowledgement.
 pub struct ServeClient {
@@ -351,6 +403,28 @@ impl ServeClient {
         Ok(client)
     }
 
+    /// [`connect`](Self::connect), retried with bounded exponential
+    /// backoff: any connect or hello failure sleeps per `backoff` and
+    /// tries again, up to `backoff.max_attempts` total attempts; the last
+    /// error is returned when they run out.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Clone,
+        backoff: Backoff,
+    ) -> io::Result<Self> {
+        let attempts = backoff.max_attempts.max(1);
+        let mut retry = 0u32;
+        loop {
+            match Self::connect(addr.clone()) {
+                Ok(client) => return Ok(client),
+                Err(err) if retry + 1 >= attempts => return Err(err),
+                Err(_) => {
+                    std::thread::sleep(backoff.delay(retry));
+                    retry += 1;
+                }
+            }
+        }
+    }
+
     /// Subscribes `sub_id` (echoed on every frame for this query) to one
     /// query.
     pub fn subscribe(
@@ -364,6 +438,27 @@ impl ServeClient {
             &Frame::Subscribe {
                 sub_id,
                 from_start,
+                from_pane: None,
+                query: *query,
+            },
+        )?;
+        self.writer.flush()
+    }
+
+    /// Subscribes `sub_id` resuming at `from_pane`: the server delivers
+    /// every pane from it on, rebuilding any gap from the pane log.
+    pub fn subscribe_from(
+        &mut self,
+        sub_id: u32,
+        query: &caraoke_live::LiveQuery,
+        from_pane: u64,
+    ) -> io::Result<()> {
+        write_frame(
+            &mut self.writer,
+            &Frame::Subscribe {
+                sub_id,
+                from_start: false,
+                from_pane: Some(from_pane),
                 query: *query,
             },
         )?;
@@ -383,14 +478,157 @@ impl ServeClient {
     /// harmless: the partial bytes are buffered and the next call resumes
     /// where this one stopped.
     pub fn next_frame(&mut self, timeout: Duration) -> io::Result<Option<Frame>> {
+        match self.poll_frame(timeout)? {
+            ClientRead::Frame(frame) => Ok(Some(frame)),
+            ClientRead::Timeout | ClientRead::Closed => Ok(None),
+        }
+    }
+
+    /// Like [`next_frame`](Self::next_frame), but reporting *why* no frame
+    /// arrived: [`ClientRead::Timeout`] vs [`ClientRead::Closed`]. A
+    /// failed auto-ack is swallowed here — the frame was already received,
+    /// and the dead connection surfaces on the next read — which is the
+    /// behaviour a reconnecting consumer needs to never lose a delivered
+    /// frame.
+    pub fn poll_frame(&mut self, timeout: Duration) -> io::Result<ClientRead> {
         match self.reader.read_deadline(timeout)? {
             Some(TickRead::Frame(frame)) => {
                 if matches!(frame, Frame::Snapshot { .. } | Frame::Delta { .. }) {
-                    self.ack(1)?;
+                    let _ = self.ack(1);
                 }
-                Ok(Some(frame))
+                Ok(ClientRead::Frame(frame))
             }
-            Some(TickRead::Closed) | Some(TickRead::Pending) | None => Ok(None),
+            Some(TickRead::Closed) => Ok(ClientRead::Closed),
+            Some(TickRead::Pending) | None => Ok(ClientRead::Timeout),
+        }
+    }
+}
+
+/// A [`ServeClient`] that survives connection loss: on a server close,
+/// a cut mid-frame, or any read error it reconnects with bounded
+/// exponential backoff, resubscribes every query, and resumes each stream
+/// at the pane after the last frame it delivered ([`Frame::Subscribe`]'s
+/// `from_pane`) — so the consumer sees a gap-free pane sequence across
+/// cuts, byte-identical to an uninterrupted subscription (the reconnect
+/// e2e pins this).
+pub struct ReconnectingClient {
+    addr: SocketAddr,
+    backoff: Backoff,
+    /// Every subscription made, replayed on each reconnect:
+    /// `(sub_id, query, from_start)`.
+    subs: Vec<(u32, caraoke_live::LiveQuery, bool)>,
+    /// Per-`sub_id` resume cursor: the pane after the last delivered frame.
+    resume: Vec<(u32, u64)>,
+    client: Option<ServeClient>,
+    reconnects: u64,
+}
+
+impl ReconnectingClient {
+    /// Connects (with retry) and completes the hello exchange. The address
+    /// is resolved once; reconnects target the same endpoint.
+    pub fn connect(addr: impl ToSocketAddrs, backoff: Backoff) -> io::Result<Self> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::other("no address resolved"))?;
+        let client = ServeClient::connect_with_retry(addr, backoff)?;
+        Ok(Self {
+            addr,
+            backoff,
+            subs: Vec::new(),
+            resume: Vec::new(),
+            client: Some(client),
+            reconnects: 0,
+        })
+    }
+
+    /// How many times the connection has been re-established.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Subscribes `sub_id` to one query. Remembered and replayed (with a
+    /// resume cursor) after every reconnect.
+    pub fn subscribe(
+        &mut self,
+        sub_id: u32,
+        query: &caraoke_live::LiveQuery,
+        from_start: bool,
+    ) -> io::Result<()> {
+        self.subs.push((sub_id, *query, from_start));
+        if let Some(client) = self.client.as_mut() {
+            if client.subscribe(sub_id, query, from_start).is_err() {
+                // Dead connection: drop it; the next read reconnects and
+                // replays the full subscription set.
+                self.client = None;
+            }
+        }
+        Ok(())
+    }
+
+    fn resume_pane(&self, sub_id: u32) -> Option<u64> {
+        self.resume
+            .iter()
+            .find(|&&(id, _)| id == sub_id)
+            .map(|&(_, pane)| pane)
+    }
+
+    fn note_delivered(&mut self, sub_id: u32, pane: u64) {
+        match self.resume.iter_mut().find(|(id, _)| *id == sub_id) {
+            Some(entry) => entry.1 = entry.1.max(pane + 1),
+            None => self.resume.push((sub_id, pane + 1)),
+        }
+    }
+
+    fn ensure_connected(&mut self) -> io::Result<()> {
+        if self.client.is_some() {
+            return Ok(());
+        }
+        let mut client = ServeClient::connect_with_retry(self.addr, self.backoff)?;
+        for (sub_id, query, from_start) in self.subs.clone() {
+            match self.resume_pane(sub_id) {
+                Some(pane) => client.subscribe_from(sub_id, &query, pane)?,
+                None => client.subscribe(sub_id, &query, from_start)?,
+            }
+        }
+        self.client = Some(client);
+        self.reconnects += 1;
+        Ok(())
+    }
+
+    /// Waits up to `timeout` for the next frame, reconnecting (and
+    /// resuming gap-free) as needed within the deadline. `Ok(None)` means
+    /// the deadline passed; `Err` that a reconnect's own retry budget ran
+    /// out.
+    pub fn next_frame(&mut self, timeout: Duration) -> io::Result<Option<Frame>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.ensure_connected()?;
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let client = self.client.as_mut().expect("connected");
+            match client.poll_frame(remaining.max(Duration::from_millis(1))) {
+                Ok(ClientRead::Frame(frame)) => {
+                    match &frame {
+                        Frame::Snapshot { sub_id, pane, .. }
+                        | Frame::Delta { sub_id, pane, .. } => {
+                            let (sub_id, pane) = (*sub_id, *pane);
+                            self.note_delivered(sub_id, pane);
+                        }
+                        _ => {}
+                    }
+                    return Ok(Some(frame));
+                }
+                Ok(ClientRead::Timeout) => {}
+                Ok(ClientRead::Closed) | Err(_) => {
+                    // Clean close, cut mid-frame, or any transport error:
+                    // drop the connection and (within the deadline) let
+                    // `ensure_connected` rebuild it.
+                    self.client = None;
+                }
+            }
+            if Instant::now() >= deadline {
+                return Ok(None);
+            }
         }
     }
 }

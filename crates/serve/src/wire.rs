@@ -20,7 +20,10 @@ use std::io::{self, Read, Write};
 
 /// Protocol version exchanged in [`Frame::Hello`]. Bump on any change to
 /// the frame or query/answer encodings.
-pub const WIRE_VERSION: u16 = 1;
+///
+/// v2: [`Frame::Subscribe`] carries an optional `from_pane` resume cursor
+/// (reconnecting clients resume gap-free where their stream was cut).
+pub const WIRE_VERSION: u16 = 2;
 
 /// Upper bound on a frame body; anything larger is corruption, not data.
 pub const MAX_FRAME_BYTES: usize = 16 << 20;
@@ -41,6 +44,10 @@ pub enum Frame {
         /// Start at pane 0 (catch up through the pane log) instead of at
         /// the head.
         from_start: bool,
+        /// Resume cursor: deliver every pane from this one on (catching up
+        /// through the pane log as needed), regardless of `from_start`.
+        /// How a reconnecting client continues gap-free after a cut.
+        from_pane: Option<u64>,
         /// The registered query.
         query: LiveQuery,
     },
@@ -382,11 +389,19 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         Frame::Subscribe {
             sub_id,
             from_start,
+            from_pane,
             query,
         } => {
             out.push(T_SUBSCRIBE);
             out.extend_from_slice(&sub_id.to_le_bytes());
             out.push(u8::from(*from_start));
+            match from_pane {
+                Some(pane) => {
+                    out.push(1);
+                    out.extend_from_slice(&pane.to_le_bytes());
+                }
+                None => out.push(0),
+            }
             put_bytes(&mut out, &encode_query(query));
         }
         Frame::Snapshot {
@@ -437,6 +452,11 @@ pub fn decode_frame(buf: &[u8]) -> Result<Frame, String> {
         T_SUBSCRIBE => Frame::Subscribe {
             sub_id: dec.u32("sub_id")?,
             from_start: dec.u8("from_start")? != 0,
+            from_pane: if dec.u8("from_pane flag")? != 0 {
+                Some(dec.u64("from_pane")?)
+            } else {
+                None
+            },
             query: decode_query(get_bytes(&mut dec, "query bytes")?)?,
         },
         tag @ (T_SNAPSHOT | T_DELTA) => {
@@ -587,6 +607,13 @@ mod tests {
             Frame::Subscribe {
                 sub_id: 3,
                 from_start: true,
+                from_pane: None,
+                query: LiveQuery::Watermark,
+            },
+            Frame::Subscribe {
+                sub_id: 4,
+                from_start: false,
+                from_pane: Some(17),
                 query: LiveQuery::Watermark,
             },
             Frame::Snapshot {

@@ -8,6 +8,7 @@
 
 pub use caraoke as reader;
 pub use caraoke_baseline as baseline;
+pub use caraoke_chaos as chaos;
 pub use caraoke_city as city;
 pub use caraoke_dsp as dsp;
 pub use caraoke_geom as geom;

@@ -91,7 +91,7 @@ fn the_fingerprint_triangle_closes() {
     let totals = live.totals();
     let stats = live.stats();
     assert!(totals.observations > 1_000, "workload too small");
-    assert_eq!(stats.log_errors, 0);
+    assert_eq!(stats.log_errors_fatal, 0);
     assert_eq!(stats.shed_reports, 0);
     drop(live);
 
@@ -170,7 +170,7 @@ fn sixteen_thread_kill_and_recover_matches_the_uninterrupted_run() {
     recovered.finish();
     let stats = recovered.stats();
     assert_eq!(stats.shed_reports, 0, "re-delivery from the floor is exact");
-    assert_eq!(stats.log_errors, 0);
+    assert_eq!(stats.log_errors_fatal, 0);
     assert_eq!(
         recovered.fingerprint_chain(),
         ref_chain,

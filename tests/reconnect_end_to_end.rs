@@ -1,0 +1,237 @@
+//! End-to-end test of serve-tier connection-loss recovery: a
+//! `ReconnectingClient` reading through a `CutProxy` that kills the
+//! TCP connection mid-frame must resume each subscription at the pane
+//! after the last delivered frame and produce a stream that is gap-free
+//! and byte-identical to an uncut subscription.
+
+use caraoke_suite::chaos::CutProxy;
+use caraoke_suite::city::{FrameSource, StoreConfig, SyntheticCity};
+use caraoke_suite::live::{LiveCity, LiveConfig, LiveQuery, WindowSpec};
+use caraoke_suite::log::LogOptions;
+use caraoke_suite::serve::{
+    Backoff, Frame, ReconnectingClient, ServeClient, ServeConfig, ServeHub, ServeServer,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("caraoke-reconnect-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Collects `(sub_id, pane, answer)` data frames until both subscriptions
+/// reach `last_pane` or the deadline passes.
+fn collect(
+    mut next: impl FnMut(Duration) -> std::io::Result<Option<Frame>>,
+    subs: &[u32],
+    last_pane: u64,
+    deadline: Duration,
+) -> Vec<(u32, u64, Vec<u8>)> {
+    let start = Instant::now();
+    let mut frames: Vec<(u32, u64, Vec<u8>)> = Vec::new();
+    let done = |frames: &Vec<(u32, u64, Vec<u8>)>| {
+        subs.iter().all(|&s| {
+            frames
+                .iter()
+                .any(|&(sub, pane, _)| sub == s && pane == last_pane)
+        })
+    };
+    while !done(&frames) && start.elapsed() < deadline {
+        match next(Duration::from_millis(250)) {
+            Ok(Some(Frame::Snapshot {
+                sub_id,
+                pane,
+                answer,
+                ..
+            }))
+            | Ok(Some(Frame::Delta {
+                sub_id,
+                pane,
+                answer,
+                ..
+            })) => frames.push((sub_id, pane, answer)),
+            Ok(_) => {}
+            Err(e) => panic!("stream failed: {e}"),
+        }
+    }
+    assert!(done(&frames), "stream never reached pane {last_pane}");
+    frames
+}
+
+#[test]
+fn cut_mid_frame_resumes_gap_free_and_byte_identical() {
+    // A finished run's pane log behind a TCP server.
+    let dir = scratch("cut-mid-frame");
+    let city = SyntheticCity::new(10, 20, 777);
+    let config = LiveConfig {
+        store: StoreConfig {
+            shards: 2,
+            ..Default::default()
+        },
+        pane_us: 1_500_000,
+        ..Default::default()
+    };
+    let live = LiveCity::with_log(
+        city.directory().clone(),
+        config,
+        &dir,
+        LogOptions::default(),
+    )
+    .expect("logged engine");
+    for epoch in 0..city.epochs() {
+        for pole in 0..city.directory().len() as u32 {
+            live.ingest(&city.report(pole, epoch));
+        }
+    }
+    live.finish();
+    let n_panes = live.stats().sealed_panes;
+    assert!(n_panes >= 18, "run too small to cut interestingly");
+    drop(live);
+
+    let hub = ServeHub::over_log(
+        &dir,
+        config.retain_panes,
+        config.pane_us,
+        config.store.light_cycle_us,
+        ServeConfig::default(),
+    )
+    .expect("hub over log");
+    let mut server = ServeServer::bind(Arc::clone(&hub), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    let queries: [(u32, LiveQuery); 2] = [
+        (1, LiveQuery::Watermark),
+        (
+            2,
+            LiveQuery::SpeedPercentile {
+                p: 50.0,
+                window: WindowSpec::tumbling(6_000_000),
+            },
+        ),
+    ];
+    let subs = [1u32, 2u32];
+    let last_pane = n_panes - 1;
+
+    // Reference stream: direct connection, no cuts.
+    let mut control = ServeClient::connect(addr).expect("control connect");
+    for (sub_id, query) in &queries {
+        control.subscribe(*sub_id, query, true).expect("subscribe");
+    }
+    let reference = collect(
+        |t| control.next_frame(t),
+        &subs,
+        last_pane,
+        Duration::from_secs(10),
+    );
+
+    // Chaos stream: the first two proxied connections die after small
+    // byte budgets — far less than the full stream, so the cuts land
+    // mid-subscription (and, with 1 KiB relay reads, usually mid-frame).
+    let proxy = CutProxy::start(addr, vec![500, 900]).expect("proxy");
+    let mut chaos = ReconnectingClient::connect(proxy.addr(), Backoff::default()).expect("connect");
+    for (sub_id, query) in &queries {
+        chaos.subscribe(*sub_id, query, true).expect("subscribe");
+    }
+    let replayed = collect(
+        |t| chaos.next_frame(t),
+        &subs,
+        last_pane,
+        Duration::from_secs(20),
+    );
+
+    assert!(proxy.cuts() >= 1, "no connection was actually cut");
+    assert!(chaos.reconnects() >= 1, "client never had to reconnect");
+
+    // Per subscription: the pane sequence is gap-free (0..n_panes exactly
+    // once) and the answers are byte-identical to the uncut stream.
+    for &sub in &subs {
+        let cut_stream: Vec<(u64, &[u8])> = replayed
+            .iter()
+            .filter(|&&(s, _, _)| s == sub)
+            .map(|(_, pane, bytes)| (*pane, bytes.as_slice()))
+            .collect();
+        let ref_stream: Vec<(u64, &[u8])> = reference
+            .iter()
+            .filter(|&&(s, _, _)| s == sub)
+            .map(|(_, pane, bytes)| (*pane, bytes.as_slice()))
+            .collect();
+        let panes: Vec<u64> = cut_stream.iter().map(|&(p, _)| p).collect();
+        assert_eq!(
+            panes,
+            (0..n_panes).collect::<Vec<u64>>(),
+            "sub {sub}: pane sequence must be gap-free across cuts"
+        );
+        assert_eq!(
+            cut_stream, ref_stream,
+            "sub {sub}: resumed stream must be byte-identical to the uncut one"
+        );
+    }
+
+    server.shutdown();
+    hub.shutdown();
+}
+
+#[test]
+fn connect_with_retry_survives_a_late_starting_server() {
+    // Reserve a port, drop the listener, and only bind the real server
+    // after a delay — the retrying connect must ride it out.
+    let placeholder = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port");
+    let addr = placeholder.local_addr().expect("addr");
+    drop(placeholder);
+
+    let dir = scratch("late-server");
+    let city = SyntheticCity::new(4, 6, 5);
+    let config = LiveConfig {
+        store: StoreConfig {
+            shards: 1,
+            ..Default::default()
+        },
+        pane_us: 1_500_000,
+        ..Default::default()
+    };
+    let live = LiveCity::with_log(
+        city.directory().clone(),
+        config,
+        &dir,
+        LogOptions::default(),
+    )
+    .expect("logged engine");
+    for epoch in 0..city.epochs() {
+        for pole in 0..city.directory().len() as u32 {
+            live.ingest(&city.report(pole, epoch));
+        }
+    }
+    live.finish();
+    drop(live);
+
+    let server_thread = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        let hub = ServeHub::over_log(
+            &dir,
+            config.retain_panes,
+            config.pane_us,
+            config.store.light_cycle_us,
+            ServeConfig::default(),
+        )
+        .expect("hub over log");
+        let server = ServeServer::bind(Arc::clone(&hub), addr).expect("late bind");
+        // Hold the server long enough for the client to finish.
+        std::thread::sleep(Duration::from_secs(3));
+        drop(server);
+        hub.shutdown();
+    });
+
+    let backoff = Backoff {
+        max_attempts: 20,
+        base: Duration::from_millis(20),
+        max: Duration::from_millis(200),
+    };
+    let mut client = ServeClient::connect_with_retry(addr, backoff).expect("retrying connect");
+    client
+        .subscribe(1, &LiveQuery::Watermark, false)
+        .expect("subscribe");
+    server_thread.join().expect("server thread");
+}

@@ -311,6 +311,7 @@ fn stalled_tcp_subscriber_hits_the_ack_window_then_the_lag_policy() {
         &Frame::Subscribe {
             sub_id: 7,
             from_start: false,
+            from_pane: None,
             query: LiveQuery::Watermark,
         },
     )
