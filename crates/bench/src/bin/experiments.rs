@@ -6,13 +6,17 @@
 //! ```text
 //! experiments [all|fig4|fig8|fig11|fig12|fig13|fig14|fig15|fig16|
 //!              table-counting-prob|table-speed-bound|table-power|table-mac|
-//!              sfft|localize2|city|live|serve|chaos]
-//!              [--quick]
+//!              sfft|localize2|city|live|serve|chaos|scale]
+//!              [--quick] [--full] [--jobs N]
 //! ```
 //!
 //! `--quick` reduces trial counts so the whole sweep finishes in a couple of
 //! minutes; without it the counts match the paper's methodology (e.g. 1000
 //! runs per point for Fig. 11).
+//!
+//! `--jobs N` runs the chaos scenario matrix on `N` worker threads (cells
+//! are independent; the report keeps grid order and is identical for any
+//! value). `--full` adds the opt-in 100M-observation tier to `scale`.
 
 use caraoke_bench as bench;
 use caraoke_geom::speed::paper_speed_error_bound;
@@ -20,11 +24,20 @@ use caraoke_geom::speed::paper_speed_error_bound;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let which = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
+    let full = args.iter().any(|a| a == "--full");
+    let jobs = parse_jobs(&args);
+    let which = {
+        let mut which = None;
+        let mut iter = args.iter();
+        while let Some(a) = iter.next() {
+            if a == "--jobs" {
+                iter.next(); // consume the value so it is not taken as a subcommand
+            } else if !a.starts_with("--") && which.is_none() {
+                which = Some(a.clone());
+            }
+        }
+        which.unwrap_or_else(|| "all".to_string())
+    };
 
     let run = |name: &str| which == "all" || which == name;
 
@@ -237,16 +250,19 @@ fn main() {
 
     if run("chaos") {
         use caraoke_chaos::{matrix_json, run_matrix, MatrixConfig};
-        let config = MatrixConfig::new(42, quick);
+        let mut config = MatrixConfig::new(42, quick);
+        config.jobs = jobs;
         let report = run_matrix(&config);
         let cells = report.cells.len();
         let failed: Vec<&caraoke_chaos::CellResult> =
             report.cells.iter().filter(|c| !c.ok).collect();
         println!(
-            "== chaos scenario matrix ({} topologies x {} scripts = {cells} cells, seed {}) ==",
+            "== chaos scenario matrix ({} topologies x {} scripts = {cells} cells, seed {}, {} job{}) ==",
             4,
             cells / 4,
-            report.seed
+            report.seed,
+            config.jobs,
+            if config.jobs == 1 { "" } else { "s" }
         );
         for cell in &report.cells {
             println!(
@@ -286,9 +302,78 @@ fn main() {
         }
     }
 
+    if run("scale") {
+        use bench::scale::{run_scale, scale_rows, ScaleConfig};
+        // Tier selection: `--quick` is the CI smoke; the plain run adds the
+        // ~10M-observation default tier; `--full` adds the opt-in
+        // 100M-observation / 50k-pole long haul (minutes of wall clock).
+        let mut tiers = vec![("smoke", ScaleConfig::smoke())];
+        if !quick {
+            tiers.push(("default", ScaleConfig::default_tier()));
+        }
+        if full {
+            tiers.push(("full", ScaleConfig::full_tier()));
+        }
+        let mut config_kv: Vec<(String, String)> = Vec::new();
+        let mut results_kv: Vec<(String, String)> = Vec::new();
+        for (tier, cfg) in &tiers {
+            let result = run_scale(cfg);
+            println!(
+                "{}",
+                bench::format_rows(
+                    &format!(
+                        "long-haul scale ingestion, {tier} tier (ROADMAP: 10k-100k poles, up to 100M observations; online engine vs generation-only ceiling)"
+                    ),
+                    &scale_rows(cfg, &result)
+                )
+            );
+            config_kv.push((format!("{tier}_poles"), cfg.n_poles.to_string()));
+            config_kv.push((format!("{tier}_epochs"), cfg.epochs.to_string()));
+            config_kv.push((format!("{tier}_workers"), cfg.workers.to_string()));
+            config_kv.push((format!("{tier}_seal_pool"), cfg.seal_pool.to_string()));
+            results_kv.push((
+                format!("{tier}_observations"),
+                result.observations.to_string(),
+            ));
+            results_kv.push((
+                format!("{tier}_obs_per_sec"),
+                format!("{:.0}", result.obs_per_sec),
+            ));
+            results_kv.push((
+                format!("{tier}_gen_obs_per_sec"),
+                format!("{:.0}", result.gen_obs_per_sec),
+            ));
+            results_kv.push((
+                format!("{tier}_elapsed_secs"),
+                format!("{:.2}", result.elapsed_secs),
+            ));
+            results_kv.push((
+                format!("{tier}_peak_rss_mb"),
+                format!("{:.0}", result.peak_rss_bytes as f64 / (1024.0 * 1024.0)),
+            ));
+            results_kv.push((
+                format!("{tier}_chain_fingerprint"),
+                format!("\"{:#018x}\"", result.chain_fingerprint),
+            ));
+        }
+        // Tier-prefixed keys let `bench_regress` gate like against like:
+        // a smoke-only CI run shares only the smoke_* keys with a committed
+        // baseline that also carries the bigger tiers.
+        match bench::write_bench_json("scale", &config_kv, &results_kv) {
+            Ok(path) => println!("scale: wrote {}\n", path.display()),
+            Err(err) => eprintln!("scale: could not write BENCH_scale.json: {err}"),
+        }
+    }
+
     if run("live") {
         let (poles, epochs) = if quick { (200, 50) } else { (1_000, 250) };
-        let rows = bench::live_scale(poles, epochs, 8, 13);
+        // One ingest worker per core, up to the roadmap's 16: oversubscribing
+        // a small container measures scheduler churn, not the engine.
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(16);
+        let rows = bench::live_scale(poles, epochs, workers, 13);
         println!(
             "{}",
             bench::format_rows(
@@ -303,4 +388,19 @@ fn main() {
 fn bar(p: f64) -> String {
     let n = (p * 40.0).round() as usize;
     "#".repeat(n.max(1))
+}
+
+/// Parses `--jobs N` / `--jobs=N` (chaos matrix worker threads); 1 when
+/// absent or malformed.
+fn parse_jobs(args: &[String]) -> usize {
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == "--jobs" {
+            return iter.next().and_then(|v| v.parse().ok()).unwrap_or(1);
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v.parse().unwrap_or(1);
+        }
+    }
+    1
 }

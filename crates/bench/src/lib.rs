@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod query_scale;
+pub mod scale;
 
 use caraoke::counting::{counting_accuracy_monte_carlo, counting_accuracy_percent, probability};
 use caraoke::multipath::{
@@ -720,8 +721,13 @@ pub fn live_scale(n_poles: usize, epochs: usize, workers: usize, seed: u64) -> V
                 shards,
                 ..Default::default()
             },
+            // The sharded tracker pool (clamped to the shard count, so the
+            // 1-shard determinism run below stays serial; sized to the
+            // caller's worker count so a 1-core run stays serial too).
+            seal_pool: workers.min(2),
             ..Default::default()
         },
+        pace_lag_panes: None,
     };
     let run = driver(workers, 16, Interleaving::PoleStriped).run(&source);
     let batch = BatchDriver {

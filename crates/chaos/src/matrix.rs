@@ -48,16 +48,24 @@ pub struct MatrixConfig {
     pub epochs: usize,
     /// Scratch root for per-cell pane logs (recreated per cell).
     pub scratch: PathBuf,
+    /// Worker threads running matrix cells (`1` = serial). Cells are
+    /// independent — each owns its scratch directory and any TCP proxy
+    /// binds port 0 — and the report keeps grid order regardless of which
+    /// worker finished which cell, so the output is identical for any
+    /// value.
+    pub jobs: usize,
 }
 
 impl MatrixConfig {
-    /// Defaults: 24 epochs, scratch under the system temp directory.
+    /// Defaults: 24 epochs, scratch under the system temp directory,
+    /// serial execution.
     pub fn new(seed: u64, quick: bool) -> Self {
         Self {
             seed,
             quick,
             epochs: 24,
             scratch: std::env::temp_dir().join(format!("caraoke-chaos-{}", std::process::id())),
+            jobs: 1,
         }
     }
 }
@@ -175,21 +183,47 @@ fn run_clean(city: &SyntheticCity, config: &LiveConfig, seed: u64) -> CleanRun {
     }
 }
 
-/// Runs the full topology x script grid.
+/// Runs the full topology x script grid, across
+/// [`MatrixConfig::jobs`] worker threads when asked. Workers claim cells
+/// from a shared cursor and write results into grid-order slots, so the
+/// report is byte-for-byte the serial one for any job count.
 pub fn run_matrix(config: &MatrixConfig) -> MatrixReport {
     let scripts = if config.quick {
         Script::quick_set()
     } else {
         Script::full_set()
     };
-    let mut cells = Vec::new();
-    let mut idx = 0u32;
+    let mut work = Vec::new();
     for topology in Topology::all() {
         for &script in &scripts {
-            cells.push(run_cell(topology, script, config, idx));
-            idx += 1;
+            work.push((topology, script, work.len() as u32));
         }
     }
+    let jobs = config.jobs.clamp(1, work.len().max(1));
+    let cells: Vec<CellResult> = if jobs <= 1 {
+        work.iter()
+            .map(|&(t, s, i)| run_cell(t, s, config, i))
+            .collect()
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let slots: Vec<std::sync::Mutex<Option<CellResult>>> =
+            work.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let at = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(t, s, i)) = work.get(at) else {
+                        break;
+                    };
+                    *slots[at].lock().expect("cell slot") = Some(run_cell(t, s, config, i));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("cell slot").expect("cell ran"))
+            .collect()
+    };
     MatrixReport {
         seed: config.seed,
         quick: config.quick,
@@ -670,5 +704,29 @@ fn json_opt_bool(v: Option<bool>) -> String {
     match v {
         Some(b) => b.to_string(),
         None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The threaded matrix must be indistinguishable from the serial one:
+    /// same cells, same grid order, same counters, same verdicts.
+    #[test]
+    fn jobs_threading_is_invisible_in_the_report() {
+        let mut config = MatrixConfig::new(9, true);
+        config.epochs = 4;
+        config.scratch =
+            std::env::temp_dir().join(format!("caraoke-chaos-jobs-test-{}", std::process::id()));
+        let serial = run_matrix(&config);
+        config.jobs = 3;
+        let threaded = run_matrix(&config);
+        assert_eq!(serial.cells.len(), threaded.cells.len());
+        for (a, b) in serial.cells.iter().zip(&threaded.cells) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+        assert_eq!(matrix_json(&serial), matrix_json(&threaded));
+        let _ = std::fs::remove_dir_all(&config.scratch);
     }
 }

@@ -32,8 +32,44 @@ use crate::event::{PoleId, PoleReport, SegmentId, TagKey, TagObservation};
 use crate::position::{resolve_position, track_speed_mps, PositionMethod};
 use caraoke_geom::Vec3;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::BuildHasherDefault;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Deterministic multiply-mix hasher for the tracker's `u64` keys.
+///
+/// The tracker does two to three hash lookups per observation; with the
+/// std `HashMap`'s randomly-seeded SipHash those lookups dominate the seal
+/// hot path. Tag keys are already well-mixed identifiers (synthetic keys,
+/// CFO signatures, decoded ids), so a single SplitMix64-style finalizer
+/// round is plenty of avalanche. Determinism is safe: the hasher is fixed
+/// (no per-process seed), and nothing the tracker emits depends on map
+/// iteration order anyway — deltas and exports are sorted on the way out.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TagKeyHasher(u64);
+
+impl std::hash::Hasher for TagKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (FNV-1a); the tracker's u64 keys never take it.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut z = self.0 ^ v ^ 0x9E37_79B9_7F4A_7C15;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+/// A `u64`-keyed map using [`TagKeyHasher`].
+type TagKeyMap<V> = HashMap<u64, V, BuildHasherDefault<TagKeyHasher>>;
 
 /// Static description of one pole: where it is and which segment it watches.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -150,33 +186,77 @@ struct TagState {
     /// Ring of recent *real* position fixes `(timestamp µs, x, y)` — only
     /// two-reader and AoA-only estimates; pole fallbacks never enter the
     /// track (they would regress to the pole-hop staircase the refactor
-    /// replaces). Oldest first; `track_len` entries are valid.
+    /// replaces). `track_len` entries are valid; once full, `track_head`
+    /// marks the oldest and a push overwrites it in place — a shift here
+    /// would memmove the whole array on nearly every observation of a
+    /// long-lived tag, squarely on the seal hot path.
     track: [(u64, f64, f64); TRACK_CAP],
     track_len: u8,
+    /// Index of the oldest valid fix (always 0 until the ring fills).
+    track_head: u8,
 }
 
 impl TagState {
+    /// Filler for unoccupied [`TagStateMap`] slots (the map's value array is
+    /// fully materialized); never observable through the map API.
+    const fn vacant() -> Self {
+        Self {
+            prev_pole: u32::MAX,
+            last_pole: PoleId(u32::MAX),
+            prev_segment: u16::MAX,
+            last_segment: SegmentId(u16::MAX),
+            arrival_us: 0,
+            last_seen_us: 0,
+            last_cycle: 0,
+            sightings: 0,
+            track: [(0, 0.0, 0.0); TRACK_CAP],
+            track_len: 0,
+            track_head: 0,
+        }
+    }
+
     fn push_track(&mut self, timestamp_us: u64, xy: (f64, f64)) {
         if (self.track_len as usize) < TRACK_CAP {
             self.track[self.track_len as usize] = (timestamp_us, xy.0, xy.1);
             self.track_len += 1;
         } else {
-            self.track.rotate_left(1);
-            self.track[TRACK_CAP - 1] = (timestamp_us, xy.0, xy.1);
+            let head = self.track_head as usize;
+            self.track[head] = (timestamp_us, xy.0, xy.1);
+            self.track_head = if head + 1 == TRACK_CAP {
+                0
+            } else {
+                self.track_head + 1
+            };
         }
     }
 
-    /// The retained fixes with timestamps in `[since_us, until_us]`.
+    /// The retained fixes with timestamps in `[since_us, until_us]`, oldest
+    /// first — the same order the pre-ring shifted array held, so the
+    /// float-summation order downstream (and with it every fingerprint) is
+    /// unchanged.
     fn track_window(&self, since_us: u64, until_us: u64) -> ([(u64, f64, f64); TRACK_CAP], usize) {
         let mut out = [(0u64, 0.0, 0.0); TRACK_CAP];
         let mut n = 0;
-        for &(t, x, y) in &self.track[..self.track_len as usize] {
+        let len = self.track_len as usize;
+        for k in 0..len {
+            let (t, x, y) = self.track[(self.track_head as usize + k) % TRACK_CAP];
             if t >= since_us && t <= until_us {
                 out[n] = (t, x, y);
                 n += 1;
             }
         }
         (out, n)
+    }
+
+    /// The track linearized oldest-first (head unrolled), for export into
+    /// the head-free [`TagRecord`] wire form.
+    fn track_linear(&self) -> [(u64, f64, f64); TRACK_CAP] {
+        let mut out = [(0u64, 0.0, 0.0); TRACK_CAP];
+        let len = self.track_len as usize;
+        for (k, slot) in out.iter_mut().enumerate().take(len) {
+            *slot = self.track[(self.track_head as usize + k) % TRACK_CAP];
+        }
+        out
     }
 }
 
@@ -335,7 +415,7 @@ fn record_of(key: u64, state: &TagState) -> TagRecord {
         last_seen_us: state.last_seen_us,
         last_cycle: state.last_cycle,
         sightings: state.sightings,
-        track: state.track,
+        track: state.track_linear(),
         track_len: state.track_len,
     }
 }
@@ -352,6 +432,7 @@ fn state_of(rec: &TagRecord) -> TagState {
         sightings: rec.sightings,
         track: rec.track,
         track_len: rec.track_len,
+        track_head: 0,
     }
 }
 
@@ -366,10 +447,12 @@ fn state_of(rec: &TagRecord) -> TagState {
 /// always meets the same tracker.
 #[derive(Debug, Default)]
 pub struct TagTracker {
-    /// Per-tag state, keyed by resolved tag key.
-    tags: HashMap<u64, TagState>,
+    /// Per-tag state, keyed by resolved tag key. An open-addressing table
+    /// (see [`TagStateMap`]) rather than a `HashMap` so the seal walk can
+    /// prefetch upcoming tags' state through [`TagTracker::prefetch`].
+    tags: TagStateMap,
     /// CFO-signature key → decoded key upgrades.
-    aliases: HashMap<u64, u64>,
+    aliases: TagKeyMap<u64>,
     stats: AliasStats,
     /// When set, every mutation records its key in the dirty sets so
     /// [`take_delta`](Self::take_delta) can emit a per-pane change log.
@@ -413,8 +496,8 @@ impl TagTracker {
                         if self.trace {
                             self.dirty_aliases.insert(raw);
                         }
-                        if let Some(state) = self.tags.remove(&raw) {
-                            self.tags.entry(decoded).or_insert(state);
+                        if let Some(state) = self.tags.remove(raw) {
+                            self.tags.insert_if_absent(decoded, state);
                             if self.trace {
                                 self.dirty_tags.insert(raw);
                                 self.dirty_tags.insert(decoded);
@@ -442,6 +525,24 @@ impl TagTracker {
         }
     }
 
+    /// Hints the cache at the per-tag state `obs` will touch when it is
+    /// [`apply`](Self::apply)'d shortly: resolves the observation's key
+    /// through the alias table (read-only — no stats, no upgrades) and
+    /// prefetches its slot in the state table. Callers walking a sorted
+    /// batch issue this a few observations ahead so the state-table miss —
+    /// the dominant cost of `apply` on large deployments — overlaps earlier
+    /// folds. Purely a hint; results are identical with or without it.
+    #[inline]
+    pub fn prefetch(&self, obs: &TagObservation) {
+        let raw = obs.tag.0;
+        let key = if let Some(id) = obs.decoded {
+            TagKey::from_decoded(id).0
+        } else {
+            self.aliases.get(&raw).copied().unwrap_or(raw)
+        };
+        self.tags.prefetch(key);
+    }
+
     /// Applies one observation (which must arrive in canonical order) and
     /// emits the derived analytics events.
     pub fn apply(
@@ -461,7 +562,7 @@ impl TagTracker {
         let fix = obs
             .position
             .filter(|p| p.is_finite() && p.method != PositionMethod::PolePosition);
-        match self.tags.get_mut(&key) {
+        match self.tags.get_mut(key) {
             None => {
                 emit(DerivedEvent::Flow {
                     segment: obs.segment,
@@ -478,6 +579,7 @@ impl TagTracker {
                     sightings: 1,
                     track: [(0, 0.0, 0.0); TRACK_CAP],
                     track_len: 0,
+                    track_head: 0,
                 };
                 if let Some(f) = fix {
                     state.push_track(obs.timestamp_us, f.xy);
@@ -590,7 +692,7 @@ impl TagTracker {
             ..TrackerDelta::default()
         };
         for key in std::mem::take(&mut self.dirty_tags) {
-            match self.tags.get(&key) {
+            match self.tags.get(key) {
                 Some(state) => delta.upserts.push(record_of(key, state)),
                 None => delta.removals.push(key),
             }
@@ -610,7 +712,7 @@ impl TagTracker {
         let mut upserts: Vec<TagRecord> = self
             .tags
             .iter()
-            .map(|(&key, state)| record_of(key, state))
+            .map(|(key, state)| record_of(key, state))
             .collect();
         upserts.sort_unstable_by_key(|rec| rec.key);
         let mut aliases: Vec<(u64, u64)> = self.aliases.iter().map(|(&r, &d)| (r, d)).collect();
@@ -641,7 +743,7 @@ impl TagTracker {
         let before = self.tags.len();
         if self.trace {
             let dirty = &mut self.dirty_tags;
-            self.tags.retain(|&key, state| {
+            self.tags.retain(|key, state| {
                 let keep = state.last_seen_us >= cutoff_us;
                 if !keep {
                     dirty.insert(key);
@@ -660,7 +762,7 @@ impl TagTracker {
     /// anything dirty — the applied state is by definition already durable.
     pub fn apply_delta(&mut self, delta: &TrackerDelta) {
         for &key in &delta.removals {
-            self.tags.remove(&key);
+            self.tags.remove(key);
         }
         for rec in &delta.upserts {
             self.tags.insert(rec.key, state_of(rec));
@@ -669,6 +771,260 @@ impl TagTracker {
             self.aliases.insert(raw, decoded);
         }
         self.stats = delta.stats;
+    }
+}
+
+/// Open-addressing storage for per-tag state, replacing `HashMap<u64,
+/// TagState>` on the tracker's hot path.
+///
+/// The seal walk does one state lookup per observation, in canonical
+/// `(timestamp, pole, tag)` order — i.e. effectively random tag order — so
+/// each lookup is a cache miss on a ~200-byte `TagState`. A `std` map hides
+/// its buckets, so that miss cannot be overlapped; this table keys with
+/// plain parallel arrays (keys, states), letting
+/// [`TagStateMap::prefetch`] compute the home slot of an *upcoming*
+/// observation and pull its key and state lines into cache
+/// while the current observation folds. Linear probing with backshift
+/// deletion (no tombstones) keeps probe chains short at the 3/4 load factor.
+///
+/// Determinism is unaffected: iteration order is only ever observed through
+/// [`TagTracker::export`], which sorts, and [`TagTracker::evict_idle`],
+/// whose predicate is order-independent.
+#[derive(Default)]
+struct TagStateMap {
+    /// Slot keys; [`Self::EMPTY`] marks a free slot, so probe loops touch
+    /// exactly one array (one cache line per step) until a candidate
+    /// matches. A genuine `EMPTY` key is legal input and lives in
+    /// `sentinel_val` instead of the table.
+    keys: Vec<u64>,
+    vals: Vec<TagState>,
+    /// Entries in `keys`/`vals` (excludes `sentinel_val`).
+    table_len: usize,
+    /// `capacity - 1`; capacity is always a power of two (0 while empty).
+    mask: usize,
+    /// State for the one key equal to [`Self::EMPTY`], should it ever occur.
+    sentinel_val: Option<TagState>,
+}
+
+impl std::fmt::Debug for TagStateMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TagStateMap")
+            .field("len", &self.len())
+            .field("capacity", &self.keys.len())
+            .finish()
+    }
+}
+
+impl TagStateMap {
+    /// The free-slot marker. No synthetic, CFO-signature, or decoded tag key
+    /// is all-ones in practice, but the map stays correct if one is: that
+    /// key is diverted to `sentinel_val`.
+    const EMPTY: u64 = u64::MAX;
+
+    /// SplitMix64 finalizer — the same mix [`TagKeyHasher`] uses, applied
+    /// directly since the key is already a `u64`.
+    #[inline(always)]
+    fn home(&self, key: u64) -> usize {
+        let mut z = key ^ 0x9E37_79B9_7F4A_7C15;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as usize & self.mask
+    }
+
+    fn len(&self) -> usize {
+        self.table_len + usize::from(self.sentinel_val.is_some())
+    }
+
+    /// `Ok(slot)` holding `key`, or `Err(slot)` of the first empty slot on
+    /// its probe chain. Callers must ensure the table is non-empty and
+    /// `key != EMPTY`.
+    #[inline(always)]
+    fn probe(&self, key: u64) -> Result<usize, usize> {
+        let mut i = self.home(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Ok(i);
+            }
+            if k == Self::EMPTY {
+                return Err(i);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    #[inline(always)]
+    fn get(&self, key: u64) -> Option<&TagState> {
+        if key == Self::EMPTY {
+            return self.sentinel_val.as_ref();
+        }
+        if self.table_len == 0 {
+            return None;
+        }
+        self.probe(key).ok().map(|i| &self.vals[i])
+    }
+
+    #[inline(always)]
+    fn get_mut(&mut self, key: u64) -> Option<&mut TagState> {
+        if key == Self::EMPTY {
+            return self.sentinel_val.as_mut();
+        }
+        if self.table_len == 0 {
+            return None;
+        }
+        match self.probe(key) {
+            Ok(i) => Some(&mut self.vals[i]),
+            Err(_) => None,
+        }
+    }
+
+    /// Inserts or replaces, `HashMap::insert`-style.
+    fn insert(&mut self, key: u64, val: TagState) {
+        if key == Self::EMPTY {
+            self.sentinel_val = Some(val);
+            return;
+        }
+        self.reserve_one();
+        match self.probe(key) {
+            Ok(i) => self.vals[i] = val,
+            Err(i) => {
+                self.keys[i] = key;
+                self.vals[i] = val;
+                self.table_len += 1;
+            }
+        }
+    }
+
+    /// Inserts only when absent (`entry(key).or_insert(val)`).
+    fn insert_if_absent(&mut self, key: u64, val: TagState) {
+        if key == Self::EMPTY {
+            self.sentinel_val.get_or_insert(val);
+            return;
+        }
+        self.reserve_one();
+        if let Err(i) = self.probe(key) {
+            self.keys[i] = key;
+            self.vals[i] = val;
+            self.table_len += 1;
+        }
+    }
+
+    fn remove(&mut self, key: u64) -> Option<TagState> {
+        if key == Self::EMPTY {
+            return self.sentinel_val.take();
+        }
+        if self.table_len == 0 {
+            return None;
+        }
+        let mut hole = self.probe(key).ok()?;
+        let out = self.vals[hole];
+        // Backshift: walk the cluster after the hole; any element whose home
+        // slot is cyclically at-or-before the hole slides back into it, so
+        // every surviving element stays reachable without tombstones.
+        let mask = self.mask;
+        let mut j = hole;
+        loop {
+            j = (j + 1) & mask;
+            let k = self.keys[j];
+            if k == Self::EMPTY {
+                break;
+            }
+            let home = self.home(k);
+            if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(hole) & mask) {
+                self.keys[hole] = k;
+                self.vals[hole] = self.vals[j];
+                hole = j;
+            }
+        }
+        self.keys[hole] = Self::EMPTY;
+        self.table_len -= 1;
+        Some(out)
+    }
+
+    /// Keeps only entries satisfying the predicate. Rebuilds in place
+    /// (removal-during-scan would skip elements the backshift moves behind
+    /// the cursor); callers are cold compaction paths.
+    fn retain(&mut self, mut keep: impl FnMut(u64, &TagState) -> bool) {
+        if let Some(state) = &self.sentinel_val {
+            if !keep(Self::EMPTY, state) {
+                self.sentinel_val = None;
+            }
+        }
+        if self.table_len == 0 {
+            return;
+        }
+        let cap = self.keys.len();
+        let old_keys = std::mem::replace(&mut self.keys, vec![Self::EMPTY; cap]);
+        let old_vals = std::mem::take(&mut self.vals);
+        self.vals = vec![TagState::vacant(); cap];
+        self.table_len = 0;
+        for i in 0..cap {
+            if old_keys[i] != Self::EMPTY && keep(old_keys[i], &old_vals[i]) {
+                let mut j = self.home(old_keys[i]);
+                while self.keys[j] != Self::EMPTY {
+                    j = (j + 1) & self.mask;
+                }
+                self.keys[j] = old_keys[i];
+                self.vals[j] = old_vals[i];
+                self.table_len += 1;
+            }
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (u64, &TagState)> {
+        self.keys
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k != Self::EMPTY)
+            .map(|(i, &k)| (k, &self.vals[i]))
+            .chain(self.sentinel_val.iter().map(|s| (Self::EMPTY, s)))
+    }
+
+    /// Grows (doubling) when one more insert would pass the 3/4 load
+    /// factor, rehashing every element into the wider table.
+    fn reserve_one(&mut self) {
+        let cap = self.keys.len();
+        if cap == 0 || self.table_len + 1 > cap - cap / 4 {
+            let new_cap = (cap * 2).max(64);
+            let old_keys = std::mem::replace(&mut self.keys, vec![Self::EMPTY; new_cap]);
+            let old_vals = std::mem::replace(&mut self.vals, vec![TagState::vacant(); new_cap]);
+            self.mask = new_cap - 1;
+            for i in 0..old_keys.len() {
+                if old_keys[i] != Self::EMPTY {
+                    let mut j = self.home(old_keys[i]);
+                    while self.keys[j] != Self::EMPTY {
+                        j = (j + 1) & self.mask;
+                    }
+                    self.keys[j] = old_keys[i];
+                    self.vals[j] = old_vals[i];
+                }
+            }
+        }
+    }
+
+    /// Pulls `key`'s home slot — key word and the first lines of its state —
+    /// toward L1 ahead of the lookup the caller is about to make. Purely a
+    /// hint: wrong or stale guesses cost nothing but bandwidth. (The one
+    /// `unsafe` in this crate: `_mm_prefetch` never faults, even on wild
+    /// addresses.)
+    #[allow(unsafe_code)]
+    #[inline(always)]
+    fn prefetch(&self, key: u64) {
+        if self.table_len == 0 || key == Self::EMPTY {
+            return;
+        }
+        let i = self.home(key);
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(&self.keys[i] as *const u64 as *const i8, _MM_HINT_T0);
+            let v = &self.vals[i] as *const TagState as *const i8;
+            _mm_prefetch(v, _MM_HINT_T0);
+            _mm_prefetch(v.add(64), _MM_HINT_T0);
+            _mm_prefetch(v.add(128), _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = i;
     }
 }
 

@@ -12,7 +12,7 @@
 use crate::config::ReaderConfig;
 use crate::error::CaraokeError;
 use crate::spectrum::analyze_collision;
-use caraoke_dsp::goertzel::dtft_at_frequency;
+use caraoke_dsp::goertzel::{dtft_at_frequencies, dtft_at_frequency};
 use caraoke_dsp::Complex;
 use caraoke_phy::modulation::slice_bits;
 use caraoke_phy::protocol::TransponderPacket;
@@ -50,8 +50,10 @@ fn refine_cfo(samples: &[Complex], coarse_cfo: f64, bin_resolution: f64, sample_
     for _ in 0..40 {
         let m1 = lo + (hi - lo) / 3.0;
         let m2 = hi - (hi - lo) / 3.0;
-        let v1 = dtft_at_frequency(samples, m1, sample_rate).abs();
-        let v2 = dtft_at_frequency(samples, m2, sample_rate).abs();
+        // Both probes in one lane-batched signal pass (bit-identical to
+        // two separate evaluations).
+        let probes = dtft_at_frequencies(samples, &[m1, m2], sample_rate);
+        let (v1, v2) = (probes[0].abs(), probes[1].abs());
         if v1 < v2 {
             lo = m1;
         } else {

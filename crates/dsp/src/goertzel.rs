@@ -43,6 +43,61 @@ pub fn dtft_at_frequency(signal: &[Complex], freq: f64, sample_rate: f64) -> Com
     goertzel_bin(signal, k)
 }
 
+/// Bins evaluated together per signal pass by [`goertzel_bins`]. Four
+/// complex accumulator/phasor/step lanes fit the vector registers the
+/// autovectorizer has to work with, and every lane's operation sequence is
+/// the scalar [`goertzel_bin`] recurrence — the batched results are
+/// bit-identical to one-at-a-time evaluation.
+const GOERTZEL_LANES: usize = 4;
+
+/// Evaluates many DFT bins of `signal` in lane-batched passes: the signal
+/// streams through the cache once per `GOERTZEL_LANES` bins instead of
+/// once per bin, and the independent per-bin recurrences sit in
+/// struct-of-arrays lanes the autovectorizer can lift. Returns one value
+/// per entry of `ks`, each bit-identical to `goertzel_bin(signal, k)`.
+///
+/// This is the sparse-FFT voting stage's kernel: §10 verifies every
+/// candidate bin against the *full* signal, so candidate evaluation — not
+/// the subsampled FFTs — dominates once collisions carry several tags.
+pub fn goertzel_bins(signal: &[Complex], ks: &[f64]) -> Vec<Complex> {
+    let n = signal.len();
+    if n == 0 {
+        return vec![Complex::ZERO; ks.len()];
+    }
+    let mut out = Vec::with_capacity(ks.len());
+    for chunk in ks.chunks(GOERTZEL_LANES) {
+        // Idle lanes of a partial chunk run with a unit step and are
+        // discarded below. The angle expression matches `goertzel_bin`
+        // exactly — same operation order, same rounding.
+        let mut step = [Complex::ONE; GOERTZEL_LANES];
+        for (s, &k) in step.iter_mut().zip(chunk) {
+            *s = Complex::from_angle(-2.0 * std::f64::consts::PI * k / n as f64);
+        }
+        let mut phasor = [Complex::ONE; GOERTZEL_LANES];
+        let mut acc = [Complex::ZERO; GOERTZEL_LANES];
+        for &x in signal {
+            for lane in 0..GOERTZEL_LANES {
+                acc[lane] += x * phasor[lane];
+                phasor[lane] *= step[lane];
+            }
+        }
+        out.extend_from_slice(&acc[..chunk.len()]);
+    }
+    out
+}
+
+/// Batched [`dtft_at_frequency`]: evaluates the DTFT at every frequency in
+/// `freqs` (Hz) with [`goertzel_bins`]' shared signal passes. Bit-identical
+/// to the one-at-a-time calls.
+pub fn dtft_at_frequencies(signal: &[Complex], freqs: &[f64], sample_rate: f64) -> Vec<Complex> {
+    let n = signal.len();
+    if n == 0 {
+        return vec![Complex::ZERO; freqs.len()];
+    }
+    let ks: Vec<f64> = freqs.iter().map(|&f| f / sample_rate * n as f64).collect();
+    goertzel_bins(signal, &ks)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +147,41 @@ mod tests {
     fn empty_signal_gives_zero() {
         assert_eq!(goertzel_bin(&[], 3.0), Complex::ZERO);
         assert_eq!(dtft_at_frequency(&[], 100.0, 1e6), Complex::ZERO);
+        assert_eq!(goertzel_bins(&[], &[1.0, 2.0]).len(), 2);
+        assert_eq!(dtft_at_frequencies(&[], &[100.0], 1e6), vec![Complex::ZERO]);
+    }
+
+    #[test]
+    fn batched_bins_are_bit_identical_to_scalar() {
+        let n = 300; // Not a multiple of the lane width.
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        // 7 bins: one full chunk plus a partial one, fractional included.
+        let ks = [0.0, 1.0, 17.25, 100.0, 149.9, 250.0, 299.0];
+        let batched = goertzel_bins(&x, &ks);
+        assert_eq!(batched.len(), ks.len());
+        for (&k, b) in ks.iter().zip(&batched) {
+            let s = goertzel_bin(&x, k);
+            assert!(
+                s.re.to_bits() == b.re.to_bits() && s.im.to_bits() == b.im.to_bits(),
+                "bin {k}: scalar {s:?} != batched {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_frequencies_are_bit_identical_to_scalar() {
+        let n = 128;
+        let fs = 4.0e6;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.21).cos(), 0.3))
+            .collect();
+        let freqs = [12_500.0, 250_000.0, 1_234_567.0];
+        let batched = dtft_at_frequencies(&x, &freqs, fs);
+        for (&f, b) in freqs.iter().zip(&batched) {
+            let s = dtft_at_frequency(&x, f, fs);
+            assert!(s.re.to_bits() == b.re.to_bits() && s.im.to_bits() == b.im.to_bits());
+        }
     }
 }

@@ -35,7 +35,7 @@ pub mod window;
 
 pub use complex::Complex;
 pub use fft::{fft, fft_in_place, ifft, magnitude_spectrum, power_spectrum};
-pub use goertzel::goertzel_bin;
+pub use goertzel::{goertzel_bin, goertzel_bins};
 pub use peaks::{detect_peaks, Peak, PeakConfig};
 pub use sfft::{SparseFft, SparseFftConfig, SparsePeak};
 pub use stats::{mean, percentile, std_dev, variance, Summary};

@@ -20,7 +20,7 @@
 
 use crate::complex::Complex;
 use crate::fft::fft;
-use crate::goertzel::goertzel_bin;
+use crate::goertzel::goertzel_bins;
 
 /// A spectral spike recovered by the sparse FFT.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,10 +103,13 @@ impl SparseFft {
         let noise = crate::stats::median(&mags).max(f64::MIN_POSITIVE);
         let threshold = noise * self.config.threshold_over_noise;
 
-        // Verify each candidate against the full signal with Goertzel.
+        // Verify each candidate against the full signal with Goertzel —
+        // lane-batched, so the signal streams through the cache once per
+        // four candidates instead of once per candidate.
+        let ks: Vec<f64> = candidates.iter().map(|&bin| bin as f64).collect();
         let evaluated: Vec<(usize, Complex)> = candidates
             .into_iter()
-            .map(|bin| (bin, goertzel_bin(signal, bin as f64)))
+            .zip(goertzel_bins(signal, &ks))
             .collect();
         // Besides the noise-relative threshold, require candidates to be
         // within 30 dB of the strongest one; this rejects the numerically

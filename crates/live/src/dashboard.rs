@@ -132,6 +132,7 @@ mod tests {
             workers: 2,
             interleaving: Interleaving::PoleStriped,
             config: LiveConfig::default(),
+            pace_lag_panes: None,
         };
         let live = crate::engine::LiveCity::new(source.directory().clone(), driver.config);
         driver.stream(&source, &live);

@@ -48,6 +48,18 @@ pub struct LiveDriver {
     pub interleaving: Interleaving,
     /// Engine tuning.
     pub config: LiveConfig,
+    /// Ingest pacing for [`Interleaving::PoleStriped`]: `Some(k)` makes
+    /// each worker, after delivering epoch `e` of its stripe, block
+    /// ([`LiveCity::wait_seal_floor`]) until pane `e - k` is sealed. This
+    /// bounds buffered memory to O(`k` panes) however far generation
+    /// outruns the sealer — without it, a fast producer on a slow (or
+    /// shared) machine trips the `max_pending_per_worker` overflow shed on
+    /// long runs. `k` must exceed [`LiveConfig::lateness_panes`] or the
+    /// wait can ask for a floor the watermark never releases; sealed
+    /// content is interleaving-invariant, so pacing never changes
+    /// fingerprints, only arrival timing. `None` (the default) streams at
+    /// full speed. Ignored by `ShuffledFifo` (small determinism runs).
+    pub pace_lag_panes: Option<u64>,
 }
 
 impl Default for LiveDriver {
@@ -59,6 +71,7 @@ impl Default for LiveDriver {
             workers: parallelism.clamp(2, 16),
             interleaving: Interleaving::PoleStriped,
             config: LiveConfig::default(),
+            pace_lag_panes: None,
         }
     }
 }
@@ -114,12 +127,30 @@ impl LiveDriver {
         match self.interleaving {
             Interleaving::PoleStriped => {
                 let workers = self.workers.max(1);
+                let pace = self.pace_lag_panes.map(|k| {
+                    // Below the lateness allowance the watermark can never
+                    // release the requested floor (deadlock); clamp up.
+                    k.max(self.config.lateness_panes + 1)
+                });
+                let pane_us = self.config.pane_us;
                 std::thread::scope(|scope| {
                     for w in 0..workers {
                         scope.spawn(move || {
                             for epoch in 0..epochs {
                                 for pole in (w as u32..n_poles).step_by(workers) {
                                     live.ingest(&source.report(pole, epoch));
+                                }
+                                if let Some(k) = pace {
+                                    // `k` panes behind the current watermark
+                                    // is strictly below the releasable floor
+                                    // (watermark − lateness), so this wait is
+                                    // always satisfiable by seals already
+                                    // requested — no deadlock for any
+                                    // epoch-to-pane mapping.
+                                    let target = live.watermark_us().saturating_sub(k * pane_us);
+                                    if target > 0 {
+                                        live.wait_seal_floor(target);
+                                    }
                                 }
                             }
                         });
@@ -161,6 +192,7 @@ mod tests {
                 retain_panes: 8,
                 ..Default::default()
             },
+            pace_lag_panes: None,
         }
     }
 
@@ -196,6 +228,24 @@ mod tests {
             assert_eq!(pair[0].totals, pair[1].totals);
         }
         assert!(runs[0].totals.speeds.samples() > 0);
+    }
+
+    #[test]
+    fn paced_ingest_is_byte_identical_and_bounds_pending() {
+        let source = SyntheticCity::new(24, 16, 42);
+        let free = driver(4, 8, Interleaving::PoleStriped).run(&source);
+        for k in [0, 1, 2, 8] {
+            let mut paced = driver(4, 8, Interleaving::PoleStriped);
+            paced.pace_lag_panes = Some(k); // 0 and 1 exercise the clamp
+            let run = paced.run(&source);
+            assert_eq!(
+                run.chain_fingerprint, free.chain_fingerprint,
+                "pacing (k={k}) changes arrival timing only, never content"
+            );
+            assert_eq!(run.totals, free.totals);
+            assert_eq!(run.stats.overflow_shed, 0);
+            assert_eq!(run.stats.shed_reports, 0);
+        }
     }
 
     #[test]

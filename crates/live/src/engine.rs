@@ -15,12 +15,40 @@
 //!   per-report allocation, no sorting;
 //! * a **dedicated sealer thread** (spawned by [`LiveCity::new`], woken by a
 //!   condvar whenever the watermark advances) drains the worker slots,
-//!   establishes the canonical order with one sort, runs the shared
-//!   [`TagTracker`] state machines (the same ones the batch store uses, §8
-//!   alias upgrades included), folds each pane into one aggregate,
-//!   fingerprints it into the engine's **fingerprint chain**, and pushes it
-//!   into the retained [`WindowRing`]. Ingest threads only buffer and
-//!   signal; they never seal.
+//!   establishes the canonical order, runs the shared [`TagTracker`] state
+//!   machines (the same ones the batch store uses, §8 alias upgrades
+//!   included), folds each pane into one aggregate, fingerprints it into
+//!   the engine's **fingerprint chain**, and pushes it into the retained
+//!   [`WindowRing`]. Ingest threads only buffer and signal; they never
+//!   seal.
+//!
+//! # The columnar seal path
+//!
+//! Worker buffers and the seal scratch are struct-of-arrays: a 32-byte
+//! `SealKey` column (every field the canonical order needs) parallel to
+//! the full [`TagObservation`] column. Ordering touches only the dense key
+//! column — a pane/shard **bucket pass** (counting sort over
+//! `(pane - first_pane) * shards + shard`) followed by a per-bucket sort
+//! of `u32` indices on `(timestamp, pole, tag, cfo_bin, seq)` — instead of
+//! one comparison sort moving ~136-byte rows. Seal batches whose
+//! pane-span × shard-count would need an unreasonable bucket table (a
+//! laggard pole 100k panes behind the frontier) fall back to a plain
+//! comparison sort on the same key; both produce the identical canonical
+//! order.
+//!
+//! # The sharded tracker pool
+//!
+//! Tag shards are independent by construction (observations route to
+//! trackers by CFO bin), so with [`LiveConfig::seal_pool`] > 1 the sealer
+//! fans tracker application out over a small deterministic pool: each pool
+//! thread owns a contiguous shard range, walks its buckets pane by pane
+//! (applying observations, running idle-tag compaction at the same pane
+//! boundaries, draining per-pane tracker deltas when a pane log is
+//! attached), and folds its shards' derived events into per-pane partial
+//! aggregates. The sealer then merges partials and deltas **in shard
+//! order** — every aggregate is an integer counter, so the merged pane is
+//! byte-identical to the serial fold for any pool size (the pool-sweep
+//! stress tests pin this).
 //!
 //! Reports and observations *below* the sealed frontier — late beyond the
 //! lateness allowance — are **counted and shed**, never silently merged
@@ -53,9 +81,7 @@ use crate::watermark::WatermarkClock;
 use crate::window::{WindowAggregate, WindowRing};
 use caraoke_city::aggregate::Fingerprint;
 use caraoke_city::position::resolve_position;
-use caraoke_city::store::{
-    canonical_obs_key, AliasStats, DerivedEvent, SpeedSource, TagTracker, TrackerDelta,
-};
+use caraoke_city::store::{AliasStats, DerivedEvent, SpeedSource, TagTracker, TrackerDelta};
 use caraoke_city::{
     CityAggregates, PoleDirectory, PoleId, PoleReport, SegmentStats, StoreConfig, TagObservation,
 };
@@ -118,6 +144,14 @@ pub struct LiveConfig {
     /// lock* — durability-before-visibility holds across retries — before
     /// the sink latches failed; fatal errors latch immediately.
     pub log_retry: LogRetryPolicy,
+    /// Sealer tracker-pool threads. Tag shards are independent, so with a
+    /// pool of N the sealer applies tracker state machines on N scoped
+    /// threads (each owning a contiguous shard range) and merges their
+    /// per-pane partial aggregates and deltas in shard order — byte-identical
+    /// to the serial path for **any** value (the stress suite sweeps pool
+    /// sizes against the serial chain). Clamped to the shard count; `1`
+    /// (the default) keeps the serial seal path with no extra threads.
+    pub seal_pool: usize,
 }
 
 impl Default for LiveConfig {
@@ -132,6 +166,7 @@ impl Default for LiveConfig {
             compact_idle_us: None,
             compact_every_panes: 64,
             log_retry: LogRetryPolicy::default(),
+            seal_pool: 1,
         }
     }
 }
@@ -265,17 +300,38 @@ pub struct LiveStats {
     pub alias: AliasStats,
 }
 
-/// One buffered observation plus the routing facts the sealer needs:
-/// the tag shard (computed once, at ingest) and the observation's index
-/// within its report (`seq`), which breaks canonical-sort ties between
-/// observations sharing `(timestamp, pole, tag)` — such ties can only come
-/// from one report, so `seq` restores a deterministic total order no matter
-/// which worker buffered them.
+/// The dense sort column of the seal path: every field the canonical order
+/// `(pane, shard, timestamp, pole, tag, cfo_bin, seq)` needs, in 32 bytes,
+/// kept parallel to the full [`TagObservation`] column. The shard is
+/// computed once, at ingest; `seq` is the observation's index within its
+/// report, which breaks canonical-sort ties between observations sharing
+/// `(timestamp, pole, tag)` — such ties can only come from one report, so
+/// `seq` restores a deterministic total order no matter which worker
+/// buffered them. The pane is *not* stored: it is `timestamp_us / pane_us`,
+/// recomputed where needed.
 #[derive(Debug, Clone, Copy)]
-struct PendingObs {
+struct SealKey {
+    timestamp_us: u64,
+    tag: u64,
+    pole: u32,
+    cfo_bin: u32,
     shard: u32,
     seq: u32,
-    obs: TagObservation,
+}
+
+impl SealKey {
+    /// The canonical within-bucket order: the batch tier's
+    /// `canonical_obs_key` (timestamp, pole, tag, cfo_bin) plus the
+    /// within-report tie-breaker.
+    fn bucket_key(&self) -> (u64, u32, u64, u32, u32) {
+        (
+            self.timestamp_us,
+            self.pole,
+            self.tag,
+            self.cfo_bin,
+            self.seq,
+        )
+    }
 }
 
 /// Report-level segment counters, pane-keyed: a sorted list of **occupied**
@@ -330,13 +386,76 @@ impl SegPanes {
     }
 }
 
-/// One ingest worker's private buffers. The mutex is uncontended in steady
-/// state: only the owning thread pushes, and the sealer drains it briefly
-/// at watermark advances.
+/// One pane's worth of one worker's buffered observations, columnar: the
+/// [`SealKey`] column and the observation column grow in lockstep.
+#[derive(Debug, Default)]
+struct PaneBucket {
+    pane: u64,
+    keys: Vec<SealKey>,
+    obs: Vec<TagObservation>,
+}
+
+/// One ingest worker's private buffers, columnar and *pane-bucketed*: each
+/// occupied pane owns its own key/observation columns, so a seal moves the
+/// sealed panes' buckets with bulk copies and never rescans the buffered
+/// tail ahead of the frontier (a flat buffer pays one filter pass over
+/// `lateness_panes` worth of retained observations at every seal). The
+/// mutex is uncontended in steady state: only the owning thread pushes,
+/// and the sealer drains it briefly at watermark advances.
 #[derive(Debug, Default)]
 struct WorkerBuf {
-    pending: Vec<PendingObs>,
+    /// Occupied panes, sorted by pane index. The hot push is the last
+    /// bucket (reports arrive in near-pane-order); out-of-order panes
+    /// within the lateness allowance binary-search, like [`SegPanes`].
+    panes: Vec<PaneBucket>,
+    /// Drained buckets' emptied columns, recycled so steady state stops
+    /// allocating.
+    spare: Vec<PaneBucket>,
+    /// Total buffered observations across `panes` (the overflow bound).
+    len: usize,
     seg: SegPanes,
+}
+
+impl WorkerBuf {
+    fn is_empty(&self) -> bool {
+        self.len == 0 && self.seg.panes.is_empty()
+    }
+
+    /// The bucket for `pane`, created (from the spare list when possible)
+    /// if the pane is not yet occupied.
+    fn bucket(&mut self, pane: u64) -> &mut PaneBucket {
+        let idx = match self.panes.last() {
+            Some(last) if last.pane == pane => self.panes.len() - 1,
+            Some(last) if last.pane < pane => {
+                self.push_bucket(pane);
+                self.panes.len() - 1
+            }
+            None => {
+                self.push_bucket(pane);
+                0
+            }
+            _ => match self.panes.binary_search_by_key(&pane, |b| b.pane) {
+                Ok(idx) => idx,
+                Err(idx) => {
+                    let bucket = self.fresh_bucket(pane);
+                    self.panes.insert(idx, bucket);
+                    idx
+                }
+            },
+        };
+        &mut self.panes[idx]
+    }
+
+    fn push_bucket(&mut self, pane: u64) {
+        let bucket = self.fresh_bucket(pane);
+        self.panes.push(bucket);
+    }
+
+    fn fresh_bucket(&mut self, pane: u64) -> PaneBucket {
+        let mut bucket = self.spare.pop().unwrap_or_default();
+        bucket.pane = pane;
+        bucket
+    }
 }
 
 #[derive(Debug, Default)]
@@ -344,13 +463,91 @@ struct WorkerSlot {
     buf: Mutex<WorkerBuf>,
 }
 
-/// One observation staged for sealing, tagged with its pane.
-#[derive(Debug, Clone, Copy)]
-struct SealEntry {
-    pane: u64,
-    shard: u32,
-    seq: u32,
-    obs: TagObservation,
+/// Bucket tables above this size fall back to a comparison sort: a seal
+/// batch spanning 100k panes (one laggard pole far behind the frontier)
+/// must not allocate a pane×shard counting table.
+const MAX_SEAL_BUCKETS: usize = 1 << 16;
+
+/// The sealer's reusable staging buffers, columnar like [`WorkerBuf`]:
+/// drained keys and observations, the canonical-order index vector, and
+/// the counting-sort bucket tables (offsets are kept when the bucket pass
+/// ran — the tracker pool dispatches straight off them).
+#[derive(Debug, Default)]
+struct SealScratch {
+    keys: Vec<SealKey>,
+    obs: Vec<TagObservation>,
+    /// Indices into `keys`/`obs` in canonical order.
+    order: Vec<u32>,
+    /// `offsets[b]..offsets[b + 1]` is bucket `b`'s range in `order`
+    /// (bucket = `(pane - first_pane) * n_shards + shard`); empty when the
+    /// batch fell back to a comparison sort.
+    offsets: Vec<u32>,
+    /// Scatter cursors for the counting pass.
+    cursors: Vec<u32>,
+}
+
+impl SealScratch {
+    fn clear(&mut self) {
+        self.keys.clear();
+        self.obs.clear();
+        self.order.clear();
+        self.offsets.clear();
+        self.cursors.clear();
+    }
+
+    /// Establishes the canonical order over the drained columns, as `u32`
+    /// indices in `order`. The fast path is a counting sort over
+    /// `(pane, shard)` buckets followed by a per-bucket key sort; batches
+    /// whose pane span × shard count exceeds [`MAX_SEAL_BUCKETS`] take one
+    /// comparison sort over the full key instead. Both produce the same
+    /// total order. Returns whether the bucket tables were built (the
+    /// precondition for pooled tracker application).
+    fn sort(&mut self, first_pane: u64, span: usize, n_shards: usize, pane_us: u64) -> bool {
+        let len = self.keys.len();
+        debug_assert!(len <= u32::MAX as usize, "seal batch exceeds u32 indices");
+        self.order.clear();
+        let n_buckets = match span.checked_mul(n_shards) {
+            Some(n) if n <= MAX_SEAL_BUCKETS => n,
+            _ => {
+                // Laggard-span fallback: comparison sort on the full key.
+                self.offsets.clear();
+                self.order.extend(0..len as u32);
+                let keys = &self.keys;
+                self.order.sort_unstable_by_key(|&i| {
+                    let k = &keys[i as usize];
+                    (k.timestamp_us / pane_us, k.shard, k.bucket_key())
+                });
+                return false;
+            }
+        };
+        let bucket = |k: &SealKey| {
+            (k.timestamp_us / pane_us - first_pane) as usize * n_shards + k.shard as usize
+        };
+        self.offsets.clear();
+        self.offsets.resize(n_buckets + 1, 0);
+        for k in &self.keys {
+            self.offsets[bucket(k) + 1] += 1;
+        }
+        for b in 0..n_buckets {
+            self.offsets[b + 1] += self.offsets[b];
+        }
+        self.cursors.clear();
+        self.cursors.extend_from_slice(&self.offsets[..n_buckets]);
+        self.order.resize(len, 0);
+        for (i, k) in self.keys.iter().enumerate() {
+            let b = bucket(k);
+            self.order[self.cursors[b] as usize] = i as u32;
+            self.cursors[b] += 1;
+        }
+        let keys = &self.keys;
+        for b in 0..n_buckets {
+            let range = self.offsets[b] as usize..self.offsets[b + 1] as usize;
+            if range.len() > 1 {
+                self.order[range].sort_unstable_by_key(|&i| keys[i as usize].bucket_key());
+            }
+        }
+        true
+    }
 }
 
 /// Sealed-window state plus the sealer's private machinery (trackers and
@@ -369,8 +566,8 @@ struct SealedState {
     /// always serialized; owning them here removes the per-shard mutexes
     /// the ingest path used to take).
     trackers: Vec<TagTracker>,
-    /// Reusable staging buffer for drained observations.
-    scratch: Vec<SealEntry>,
+    /// Reusable staging buffers for drained observations.
+    scratch: SealScratch,
 }
 
 /// The durable pane log behind [`LiveCity::with_log`] /
@@ -603,7 +800,7 @@ impl LiveCity {
                     chain: Fingerprint::resume(state.chain_state),
                     total: state.total,
                     trackers: state.trackers,
-                    scratch: Vec::new(),
+                    scratch: SealScratch::default(),
                 };
                 (
                     sealed,
@@ -628,7 +825,7 @@ impl LiveCity {
                     chain: Fingerprint::new(),
                     total: CityAggregates::new(),
                     trackers,
-                    scratch: Vec::new(),
+                    scratch: SealScratch::default(),
                 };
                 let clock = WatermarkClock::new(directory.len(), config.pane_us);
                 (sealed, clock, 0, 0, 0)
@@ -763,6 +960,26 @@ impl LiveCity {
         }
     }
 
+    /// Blocks until the seal floor reaches at least `floor_us` — i.e. every
+    /// pane ending at or below it is sealed. The ingest-side backpressure
+    /// primitive: a producer that knows it is `k` panes ahead waits here,
+    /// bounding buffered memory instead of tripping the
+    /// [`LiveConfig::max_pending_per_worker`] overflow shed. Callers must
+    /// only wait on floors the watermark can actually release — a floor
+    /// above (watermark − lateness allowance) that no further ingest will
+    /// push over blocks until [`finish`](LiveCity::finish) or a staleness
+    /// force-seal supplies it.
+    pub fn wait_seal_floor(&self, floor_us: u64) {
+        let core = &*self.core;
+        if core.seal_floor_us.load(Ordering::Acquire) >= floor_us {
+            return;
+        }
+        let mut sealed = core.sealed.lock().expect("sealed state");
+        while sealed.next_pane * core.config.pane_us < floor_us {
+            sealed = core.pane_sealed.wait(sealed).expect("sealed state");
+        }
+    }
+
     /// Decommissions the calling thread's worker slot for this engine: its
     /// buffered (not-yet-sealed) observations move to the engine's orphan
     /// set — the sealer seals them exactly as if the worker were still
@@ -819,13 +1036,13 @@ impl LiveCity {
             let workers = core.workers.lock().expect("worker registry");
             let buffered = workers
                 .iter()
-                .map(|slot| slot.buf.lock().expect("worker buffer").pending.len())
+                .map(|slot| slot.buf.lock().expect("worker buffer").len)
                 .sum();
             (buffered, workers.len() as u64)
         };
         let orphaned: usize = {
             let orphans = core.orphans.lock().expect("orphan buffers");
-            orphans.iter().map(|buf| buf.pending.len()).sum()
+            orphans.iter().map(|buf| buf.len).sum()
         };
         let buffered = buffered + orphaned;
         let sealed = core.sealed.lock().expect("sealed state");
@@ -952,7 +1169,7 @@ impl LiveCore {
             .expect("worker registry")
             .retain(|s| !Arc::ptr_eq(s, &slot));
         let buf = std::mem::take(&mut *slot.buf.lock().expect("worker buffer"));
-        if !buf.pending.is_empty() || !buf.seg.panes.is_empty() {
+        if !buf.is_empty() {
             self.orphans.lock().expect("orphan buffers").push(buf);
         }
     }
@@ -979,14 +1196,23 @@ impl LiveCore {
                 }
                 if obs.timestamp_us < floor {
                     shed += 1;
-                } else if buf.pending.len() >= max_pending {
+                } else if buf.len >= max_pending {
                     overflow += 1;
                 } else {
-                    buf.pending.push(PendingObs {
+                    // Bucketed by the *observation's* pane (a report near a
+                    // boundary can straddle two), so the seal moves whole
+                    // buckets without re-classifying anything.
+                    let bucket = buf.bucket(obs.timestamp_us / self.config.pane_us);
+                    bucket.keys.push(SealKey {
+                        timestamp_us: obs.timestamp_us,
+                        tag: obs.tag.0,
+                        pole: obs.pole.0,
+                        cfo_bin: obs.cfo_bin,
                         shard: caraoke_city::store::shard_of_bin(obs.cfo_bin, self.n_shards) as u32,
                         seq: seq as u32,
-                        obs: *obs,
                     });
+                    bucket.obs.push(*obs);
+                    buf.len += 1;
                 }
             }
             buf.seg.record(
@@ -1148,45 +1374,41 @@ impl LiveCore {
             return;
         }
         let pane_us = self.config.pane_us;
-        let seal_end_us = target * pane_us;
         let first_pane = sealed.next_pane;
 
-        // Drain every worker slot once: everything below the final seal
-        // frontier moves to the scratch buffer (with its pane), the rest is
-        // compacted in place preserving order (order among equal canonical
-        // keys is what keeps ties deterministic). No in-contract delivery
-        // can add observations below `target * pane_us` concurrently: the
-        // watermark only reached `target` because every pole's frontier
-        // already passed it (see `ingest`). A racing out-of-contract push
-        // can leave an observation below an already-sealed pane in a buffer;
-        // it is counted as shed here, never merged.
+        // Drain every worker slot once: every pane bucket below the final
+        // seal frontier moves to the scratch buffer wholesale (bucket order
+        // within a pane preserves arrival order, which is what keeps ties
+        // among equal canonical keys deterministic). No in-contract
+        // delivery can add observations below `target * pane_us`
+        // concurrently: the watermark only reached `target` because every
+        // pole's frontier already passed it (see `ingest`). A racing
+        // out-of-contract push can leave observations below an
+        // already-sealed pane in a buffer; those buckets are counted as
+        // shed here, never merged.
         let slots: Vec<Arc<WorkerSlot>> = self.workers.lock().expect("worker registry").clone();
         let mut scratch = std::mem::take(&mut sealed.scratch);
         let mut seg_panes: BTreeMap<u64, Vec<(u16, SegmentStats)>> = BTreeMap::new();
         let mut shed_late = 0u64;
         let mut drain_buf = |buf: &mut WorkerBuf| {
-            let pending = &mut buf.pending;
-            let mut keep = 0;
-            for i in 0..pending.len() {
-                let entry = pending[i];
-                if entry.obs.timestamp_us < seal_end_us {
-                    let pane = entry.obs.timestamp_us / pane_us;
-                    if pane < first_pane {
-                        shed_late += 1;
-                    } else {
-                        scratch.push(SealEntry {
-                            pane,
-                            shard: entry.shard,
-                            seq: entry.seq,
-                            obs: entry.obs,
-                        });
-                    }
+            // Buckets are pane-sorted: everything below the seal frontier
+            // moves with two bulk copies per bucket (a whole bucket below
+            // the floor is the racy out-of-contract case — shed, never
+            // merged), and the buffered tail ahead of the frontier is never
+            // touched, let alone rescanned.
+            let cut = buf.panes.partition_point(|b| b.pane < target);
+            for mut bucket in buf.panes.drain(..cut) {
+                buf.len -= bucket.keys.len();
+                if bucket.pane < first_pane {
+                    shed_late += bucket.keys.len() as u64;
                 } else {
-                    pending[keep] = entry;
-                    keep += 1;
+                    scratch.keys.extend_from_slice(&bucket.keys);
+                    scratch.obs.extend_from_slice(&bucket.obs);
                 }
+                bucket.keys.clear();
+                bucket.obs.clear();
+                buf.spare.push(bucket);
             }
-            pending.truncate(keep);
             buf.seg.drain_below(target, |pane, seg, stats| {
                 // Segment rows for already-sealed panes (same racy-push
                 // case) are dropped: report-level counters, not merged.
@@ -1205,52 +1427,107 @@ impl LiveCore {
             for buf in orphans.iter_mut() {
                 drain_buf(buf);
             }
-            orphans.retain(|buf| !buf.pending.is_empty() || !buf.seg.panes.is_empty());
+            orphans.retain(|buf| !buf.is_empty());
         }
         if shed_late > 0 {
             self.shed_observations
                 .fetch_add(shed_late, Ordering::Relaxed);
         }
 
-        // One sort establishes the canonical order: panes ascending, then
-        // shard, then the batch tier's `(timestamp, pole, tag)` key, then
-        // the within-report sequence number for ties.
-        scratch.sort_unstable_by_key(|e| (e.pane, e.shard, canonical_obs_key(&e.obs), e.seq));
+        // Establish the canonical order — panes ascending, then shard, then
+        // the batch tier's `(timestamp, pole, tag)` key, then the
+        // within-report sequence number for ties — as index order over the
+        // key column (bucket pass + per-bucket sort, or the laggard-span
+        // comparison fallback).
+        let span = (target - first_pane) as usize;
+        let bucketed = scratch.sort(first_pane, span, self.n_shards, pane_us);
 
+        // With a tracker pool configured and the bucket tables built, apply
+        // every shard's observations (plus compaction sweeps and per-pane
+        // delta drains) on the pool threads *before* the serial per-pane
+        // walk; the walk then merges the per-pane partials in shard order.
+        let pool = self.config.seal_pool.clamp(1, self.n_shards);
         let state = &mut *sealed;
+        let mut parts: Option<Vec<PoolPart>> = None;
+        if pool > 1 && bucketed && !scratch.order.is_empty() {
+            // The sink set is stable for the whole batch: `reattach_log`
+            // takes the sealed lock, which we hold.
+            let want_deltas = self.log.lock().expect("log sink").is_some();
+            let pooled = self.run_pool(
+                &mut state.trackers,
+                pool,
+                first_pane,
+                span,
+                &scratch,
+                want_deltas,
+            );
+            let evicted: u64 = pooled.iter().map(|p| p.evicted).sum();
+            if evicted > 0 {
+                self.compacted_tags.fetch_add(evicted, Ordering::Relaxed);
+            }
+            parts = Some(pooled);
+        }
+
         let mut idx = 0;
         for pane in first_pane..target {
+            let pane_idx = (pane - first_pane) as usize;
+            let pane_end_us = (pane + 1) * pane_us;
             let mut agg = CityAggregates::new();
-            while idx < scratch.len() && scratch[idx].pane == pane {
-                let entry = &scratch[idx];
-                agg.observations += 1;
-                let resolved = resolve_position(&entry.obs, self.directory.site(entry.obs.pole));
-                agg.positions
-                    .record_method(resolved.method, resolved.sigma_m());
-                let CityAggregates {
-                    flow,
-                    speeds,
-                    od,
-                    positions,
-                    ..
-                } = &mut agg;
-                state.trackers[entry.shard as usize].apply(
-                    &entry.obs,
-                    &self.directory,
-                    &self.config.store,
-                    |event| match event {
-                        DerivedEvent::Flow { segment, cycle } => flow.record(segment, cycle),
-                        DerivedEvent::Od { from, to } => od.record(from, to),
-                        DerivedEvent::Speed { mph, source } => {
-                            speeds.record(mph);
-                            match source {
-                                SpeedSource::PositionTrack => positions.track_speed_samples += 1,
-                                SpeedSource::ArrivalTime => positions.arrival_speed_samples += 1,
-                            }
+            // Deltas the pool already drained for this pane, shard order.
+            let mut pooled_deltas: Option<Vec<TrackerDelta>> = None;
+            match &mut parts {
+                Some(parts) => {
+                    for part in parts.iter_mut() {
+                        if let Some(partial) = part.aggs[pane_idx].take() {
+                            agg.merge(&partial);
                         }
-                    },
-                );
-                idx += 1;
+                    }
+                    if parts.iter().any(|p| !p.deltas.is_empty()) {
+                        pooled_deltas = Some(
+                            parts
+                                .iter_mut()
+                                .flat_map(|p| p.deltas[pane_idx].drain(..))
+                                .collect(),
+                        );
+                    }
+                    // The pool consumed this pane's entries; advance the
+                    // cursor past them for the exhaustion check below.
+                    while idx < scratch.order.len()
+                        && scratch.keys[scratch.order[idx] as usize].timestamp_us < pane_end_us
+                    {
+                        idx += 1;
+                    }
+                }
+                None => {
+                    while idx < scratch.order.len() {
+                        let i = scratch.order[idx] as usize;
+                        let key = &scratch.keys[i];
+                        if key.timestamp_us >= pane_end_us {
+                            break;
+                        }
+                        if let Some(&j) = scratch.order.get(idx + FOLD_PREFETCH_AHEAD) {
+                            prefetch_obs(&scratch.obs[j as usize]);
+                            prefetch_key(&scratch.keys[j as usize]);
+                        }
+                        // Nearer hint for the tracker's state table: by now
+                        // the slot-ahead observation row is resident (the
+                        // far hint above covered it), so its alias probe is
+                        // cheap and the state line it resolves to has a few
+                        // folds of latency to arrive.
+                        if let Some(&j) = scratch.order.get(idx + TRACKER_PREFETCH_AHEAD) {
+                            let kj = &scratch.keys[j as usize];
+                            state.trackers[kj.shard as usize].prefetch(&scratch.obs[j as usize]);
+                        }
+                        fold_observation(
+                            &mut agg,
+                            &mut state.trackers[key.shard as usize],
+                            &scratch.obs[i],
+                            &self.directory,
+                            &self.config.store,
+                        );
+                        idx += 1;
+                    }
+                }
             }
             if let Some(rows) = seg_panes.remove(&pane) {
                 for (seg, stats) in rows {
@@ -1262,20 +1539,17 @@ impl LiveCore {
             // and any snapshot exports the already-compacted state — replay
             // equivalence holds with or without compaction. The cutoff is a
             // pure function of the pane index, so equal runs compact
-            // identically.
-            if let Some(idle_us) = self.config.compact_idle_us {
-                let every = self.config.compact_every_panes.max(1);
-                if (pane + 1) % every == 0 {
-                    let cutoff = ((pane + 1) * pane_us).saturating_sub(idle_us);
-                    if cutoff > 0 {
-                        let evicted: u64 = state
-                            .trackers
-                            .iter_mut()
-                            .map(|t| t.evict_idle(cutoff))
-                            .sum();
-                        if evicted > 0 {
-                            self.compacted_tags.fetch_add(evicted, Ordering::Relaxed);
-                        }
+            // identically. (Pooled batches already swept on the pool
+            // threads, at the same boundaries.)
+            if parts.is_none() {
+                if let Some(cutoff) = self.compaction_cutoff(pane) {
+                    let evicted: u64 = state
+                        .trackers
+                        .iter_mut()
+                        .map(|t| t.evict_idle(cutoff))
+                        .sum();
+                    if evicted > 0 {
+                        self.compacted_tags.fetch_add(evicted, Ordering::Relaxed);
                     }
                 }
             }
@@ -1303,11 +1577,18 @@ impl LiveCore {
                 let mut guard = self.log.lock().expect("log sink");
                 if let Some(sink) = guard.as_mut() {
                     let chain_now = state.chain.finish();
-                    let deltas: Vec<TrackerDelta> = state
-                        .trackers
-                        .iter_mut()
-                        .map(TagTracker::take_delta)
-                        .collect();
+                    // Pooled batches drained each pane's deltas on the pool
+                    // threads (in shard order) right after applying it;
+                    // serial batches drain here. Same point in the tracker
+                    // timeline either way: after this pane's observations
+                    // and compaction, before the next pane's.
+                    let deltas: Vec<TrackerDelta> = pooled_deltas.take().unwrap_or_else(|| {
+                        state
+                            .trackers
+                            .iter_mut()
+                            .map(TagTracker::take_delta)
+                            .collect()
+                    });
                     // Pane and snapshot retry as *separate* logical writes:
                     // a transient snapshot failure must not re-append the
                     // (already written) pane record.
@@ -1354,12 +1635,227 @@ impl LiveCore {
                 self.log_write(sink, "seal commit", |w| w.commit_seal());
             }
         }
-        debug_assert_eq!(idx, scratch.len(), "every drained observation sealed");
+        debug_assert_eq!(idx, scratch.order.len(), "every drained observation sealed");
         scratch.clear();
         sealed.scratch = scratch;
         drop(sealed);
         self.pane_sealed.notify_all();
     }
+}
+
+impl LiveCore {
+    /// The idle-tag compaction cutoff for `pane`, when a sweep is due after
+    /// it: a pure function of the pane index and config, shared by the
+    /// serial and pooled paths so both sweep at identical boundaries.
+    fn compaction_cutoff(&self, pane: u64) -> Option<u64> {
+        let idle_us = self.config.compact_idle_us?;
+        let every = self.config.compact_every_panes.max(1);
+        if !(pane + 1).is_multiple_of(every) {
+            return None;
+        }
+        let cutoff = ((pane + 1) * self.config.pane_us).saturating_sub(idle_us);
+        (cutoff > 0).then_some(cutoff)
+    }
+
+    /// Fans tracker application out over `pool` scoped threads, each owning
+    /// a contiguous shard range (`split_at_mut` over the tracker vector —
+    /// no locks, no cloning). Blocks until every worker finishes; returns
+    /// their outputs in worker (= shard) order. Runs on the sealer thread,
+    /// under the sealed lock, only.
+    fn run_pool(
+        &self,
+        trackers: &mut [TagTracker],
+        pool: usize,
+        first_pane: u64,
+        span: usize,
+        scratch: &SealScratch,
+        want_deltas: bool,
+    ) -> Vec<PoolPart> {
+        let n_shards = trackers.len();
+        let base = n_shards / pool;
+        let rem = n_shards % pool;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(pool);
+            let mut rest = trackers;
+            let mut shard_lo = 0usize;
+            for w in 0..pool {
+                let take = base + usize::from(w < rem);
+                let (head, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let lo = shard_lo;
+                shard_lo += take;
+                handles.push(scope.spawn(move || {
+                    self.pool_apply(head, lo, first_pane, span, scratch, want_deltas)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("tracker pool worker"))
+                .collect()
+        })
+    }
+
+    /// One pool worker's pass: walk every pane's buckets for the owned
+    /// shard range in canonical order, folding observations and derived
+    /// events into a sparse per-pane partial aggregate, sweeping idle-tag
+    /// compaction at the same pane boundaries the serial path uses, and —
+    /// when a pane log is attached — draining each owned shard's delta per
+    /// pane, in shard order. Each tracker sees exactly the observation
+    /// sequence, eviction points and delta drains the serial path would
+    /// give it.
+    fn pool_apply(
+        &self,
+        trackers: &mut [TagTracker],
+        shard_lo: usize,
+        first_pane: u64,
+        span: usize,
+        scratch: &SealScratch,
+        want_deltas: bool,
+    ) -> PoolPart {
+        let n_shards = self.n_shards;
+        let mut part = PoolPart {
+            aggs: Vec::with_capacity(span),
+            deltas: Vec::with_capacity(if want_deltas { span } else { 0 }),
+            evicted: 0,
+        };
+        for pane_idx in 0..span {
+            let pane = first_pane + pane_idx as u64;
+            let mut agg: Option<Box<CityAggregates>> = None;
+            for (k, tracker) in trackers.iter_mut().enumerate() {
+                let b = pane_idx * n_shards + shard_lo + k;
+                let range = scratch.offsets[b] as usize..scratch.offsets[b + 1] as usize;
+                if range.is_empty() {
+                    continue;
+                }
+                let agg = agg.get_or_insert_with(|| Box::new(CityAggregates::new()));
+                let bucket = &scratch.order[range];
+                for (n, &i) in bucket.iter().enumerate() {
+                    if let Some(&j) = bucket.get(n + FOLD_PREFETCH_AHEAD) {
+                        prefetch_obs(&scratch.obs[j as usize]);
+                    }
+                    if let Some(&j) = bucket.get(n + TRACKER_PREFETCH_AHEAD) {
+                        tracker.prefetch(&scratch.obs[j as usize]);
+                    }
+                    fold_observation(
+                        agg,
+                        tracker,
+                        &scratch.obs[i as usize],
+                        &self.directory,
+                        &self.config.store,
+                    );
+                }
+            }
+            if let Some(cutoff) = self.compaction_cutoff(pane) {
+                part.evicted += trackers
+                    .iter_mut()
+                    .map(|t| t.evict_idle(cutoff))
+                    .sum::<u64>();
+            }
+            if want_deltas {
+                part.deltas
+                    .push(trackers.iter_mut().map(TagTracker::take_delta).collect());
+            }
+            part.aggs.push(agg);
+        }
+        part
+    }
+}
+
+/// One pool worker's output: sparse per-pane partial aggregates for its
+/// shard range, per-pane tracker deltas (only when a pane log is attached),
+/// and its compaction eviction count.
+struct PoolPart {
+    aggs: Vec<Option<Box<CityAggregates>>>,
+    deltas: Vec<Vec<TrackerDelta>>,
+    evicted: u64,
+}
+
+/// How many permutation slots ahead the seal walks hint the prefetcher.
+/// Far enough to cover an L2 miss at ~2.5 cycles/fold-instruction, near
+/// enough that the line is still resident when the walk arrives.
+const FOLD_PREFETCH_AHEAD: usize = 8;
+
+/// Slots ahead for the tracker state-table hint ([`TagTracker::prefetch`]).
+/// Closer than [`FOLD_PREFETCH_AHEAD`]: the hint itself reads the
+/// observation row (alias resolution), so it trails the far hint that pulls
+/// that row in, and state lines need less lead time than the three-line
+/// observation rows.
+const TRACKER_PREFETCH_AHEAD: usize = 4;
+
+/// Hints the cache at an upcoming observation row. The seal walks read the
+/// payload column *through the sort permutation*, so consecutive folds land
+/// on unrelated cache lines; prefetching a few slots ahead overlaps those
+/// misses with the current fold's work. A hint only — no effect on results.
+/// (The one `unsafe` in this crate: `_mm_prefetch` has no memory-safety
+/// surface — it is a hint and never faults, even on wild addresses.)
+#[allow(unsafe_code)]
+#[inline(always)]
+fn prefetch_obs(obs: &TagObservation) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        let p = obs as *const TagObservation as *const i8;
+        // A 120-byte row straddles up to three cache lines (the column is
+        // packed, so rows are not line-aligned); pull first and last.
+        unsafe {
+            _mm_prefetch(p, _MM_HINT_T0);
+            _mm_prefetch(p.add(64), _MM_HINT_T0);
+            _mm_prefetch(
+                p.add(std::mem::size_of::<TagObservation>() - 1),
+                _MM_HINT_T0,
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = obs;
+}
+
+/// [`prefetch_obs`] for the key column (one cache line), used by the serial
+/// walk, which re-reads each key through the permutation for its pane check.
+#[allow(unsafe_code)]
+#[inline(always)]
+fn prefetch_key(key: &SealKey) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch(key as *const SealKey as *const i8, _MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = key;
+}
+
+/// Folds one observation into a pane aggregate through its shard's tracker
+/// — the single definition of the per-observation hot path, shared by the
+/// serial seal walk and the pool workers so the two cannot diverge.
+fn fold_observation(
+    agg: &mut CityAggregates,
+    tracker: &mut TagTracker,
+    obs: &TagObservation,
+    directory: &PoleDirectory,
+    store: &StoreConfig,
+) {
+    agg.observations += 1;
+    let resolved = resolve_position(obs, directory.site(obs.pole));
+    agg.positions
+        .record_method(resolved.method, resolved.sigma_m());
+    let CityAggregates {
+        flow,
+        speeds,
+        od,
+        positions,
+        ..
+    } = agg;
+    tracker.apply(obs, directory, store, |event| match event {
+        DerivedEvent::Flow { segment, cycle } => flow.record(segment, cycle),
+        DerivedEvent::Od { from, to } => od.record(from, to),
+        DerivedEvent::Speed { mph, source } => {
+            speeds.record(mph);
+            match source {
+                SpeedSource::PositionTrack => positions.track_speed_samples += 1,
+                SpeedSource::ArrivalTime => positions.arrival_speed_samples += 1,
+            }
+        }
+    });
 }
 
 #[cfg(test)]

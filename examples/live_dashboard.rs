@@ -78,6 +78,7 @@ fn main() {
         workers: 8,
         interleaving: Interleaving::PoleStriped,
         config: LiveConfig::default(),
+        pace_lag_panes: None,
     };
     println!("synthetic city-scale online ingestion (1 000 poles, 30 epochs):\n");
     let live = LiveCity::new(city.directory().clone(), driver.config);

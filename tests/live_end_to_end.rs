@@ -60,6 +60,7 @@ fn live_driver(workers: usize, shards: usize, interleaving: Interleaving) -> Liv
             retain_panes: 32,
             ..Default::default()
         },
+        pace_lag_panes: None,
     }
 }
 

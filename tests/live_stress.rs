@@ -15,12 +15,17 @@ use rand::{RngExt, SeedableRng};
 const INGEST_THREADS: usize = 16;
 
 fn config(shards: usize) -> LiveConfig {
+    config_pooled(shards, 1)
+}
+
+fn config_pooled(shards: usize, seal_pool: usize) -> LiveConfig {
     LiveConfig {
         store: StoreConfig {
             shards,
             ..Default::default()
         },
         retain_panes: 8,
+        seal_pool,
         ..Default::default()
     }
 }
@@ -49,7 +54,19 @@ fn reference_run(source: &SyntheticCity) -> (u64, u64, u64) {
 /// contract) but a different cross-pole arrival order on every thread and
 /// every seed, racing the dedicated sealer the whole time.
 fn stressed_run(source: &SyntheticCity, shards: usize, seed: u64) -> (u64, u64, u64) {
-    let live = LiveCity::new(source.directory().clone(), config(shards));
+    stressed_run_pooled(source, shards, 1, seed)
+}
+
+/// [`stressed_run`] with the sealer's sharded tracker pool enabled: the
+/// seal path itself fans out across `seal_pool` threads while the 16
+/// ingest threads race it.
+fn stressed_run_pooled(
+    source: &SyntheticCity,
+    shards: usize,
+    seal_pool: usize,
+    seed: u64,
+) -> (u64, u64, u64) {
+    let live = LiveCity::new(source.directory().clone(), config_pooled(shards, seal_pool));
     let n_poles = source.directory().len() as u32;
     let epochs = source.epochs();
     std::thread::scope(|scope| {
@@ -143,6 +160,29 @@ fn position_carrying_observations_keep_byte_identical_fingerprints() {
     assert!(pos.track_speed_samples > 0, "{pos:?}");
     assert!(pos.arrival_speed_samples > 0, "{pos:?}");
     assert_eq!(pos.observations(), live.totals().observations);
+}
+
+#[test]
+fn tracker_pool_sizes_reproduce_the_serial_chain_under_stress() {
+    // The sharded tracker pool must be byte-invisible: any pool size, over
+    // any shard count and any seeded arrival interleaving, seals the exact
+    // chain the serial single-threaded run seals. CFO-keyed identities put
+    // the alias state machine (the most order-sensitive tracker path) in
+    // play, and a pool larger than the shard count pins the clamp.
+    let mut source = SyntheticCity::new(48, 24, 31_337);
+    source.cfo_keyed = true;
+    let reference = reference_run(&source);
+    assert!(reference.2 > 4_000, "workload too small to stress anything");
+    for (i, &pool) in [1usize, 2, 4, 8].iter().enumerate() {
+        for (j, &shards) in [4usize, 16].iter().enumerate() {
+            let seed = 1_000 + (i * 7 + j * 13) as u64 * 947;
+            let stressed = stressed_run_pooled(&source, shards, pool, seed);
+            assert_eq!(
+                stressed, reference,
+                "pool {pool} / {shards} shards / seed {seed} diverged from serial"
+            );
+        }
+    }
 }
 
 #[test]
